@@ -1,0 +1,67 @@
+//! Criterion benches for E1–E3 (Theorem 2.3.4(b)): `assert` linear,
+//! `combine` quadratic, `complement` exponential.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pwdb::blu::BluClausal;
+use pwdb::logic::{AtomId, Clause, ClauseSet, Literal};
+use pwdb_bench::{random_clause_set, rng};
+
+fn bench_assert(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1_assert");
+    for exp in [8u32, 10, 12] {
+        let clauses = 1usize << exp;
+        let mut r = rng(exp as u64);
+        let a = random_clause_set(&mut r, 64, clauses, 4);
+        let b = random_clause_set(&mut r, 64, clauses, 4);
+        group.throughput(Throughput::Elements((a.length() + b.length()) as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(a.length() + b.length()),
+            &(a, b),
+            |bench, (a, b)| bench.iter(|| BluClausal::assert_clauses(a, b)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_combine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2_combine");
+    for exp in [4u32, 5, 6, 7] {
+        let clauses = 1usize << exp;
+        let mut r = rng(100 + exp as u64);
+        let a = random_clause_set(&mut r, 64, clauses, 3);
+        let b = random_clause_set(&mut r, 64, clauses, 3);
+        group.throughput(Throughput::Elements((a.length() * b.length()) as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(a.length() * b.length()),
+            &(a, b),
+            |bench, (a, b)| bench.iter(|| BluClausal::combine_clauses(a, b)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_complement(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e3_complement");
+    group.sample_size(10);
+    for k in [4usize, 6, 8] {
+        // k disjoint width-3 clauses: output 3^k.
+        let mut set = ClauseSet::new();
+        for i in 0..k {
+            let base = (i * 3) as u32;
+            set.insert(Clause::new(vec![
+                Literal::pos(AtomId(base)),
+                Literal::pos(AtomId(base + 1)),
+                Literal::pos(AtomId(base + 2)),
+            ]));
+        }
+        group.bench_with_input(
+            BenchmarkId::from_parameter(set.length()),
+            &set,
+            |bench, set| bench.iter(|| BluClausal::complement_clauses(set)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_assert, bench_combine, bench_complement);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Criterion bench for E5 (Theorem 2.3.9(b)): the paper's exhaustive
+//! `genmask` doubles per proposition letter; the SAT-cofactor strategy is
+//! the engineering alternative for the same NP-complete problem.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pwdb::blu::BluClausal;
+use pwdb_bench::{random_clause_set, rng};
+
+fn bench_genmask_paper(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5_genmask_paper");
+    group.sample_size(10);
+    for n in [6usize, 8, 10, 12] {
+        let mut r = rng(5000 + n as u64);
+        let set = random_clause_set(&mut r, n, n * 2, 3);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &set, |bench, set| {
+            bench.iter(|| BluClausal::genmask_paper(set))
+        });
+    }
+    group.finish();
+}
+
+fn bench_genmask_sat(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5_genmask_sat");
+    for n in [6usize, 8, 10, 12, 16] {
+        let mut r = rng(5000 + n as u64);
+        let set = random_clause_set(&mut r, n, n * 2, 3);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &set, |bench, set| {
+            bench.iter(|| BluClausal::genmask_sat(set))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_genmask_paper, bench_genmask_sat);
+criterion_main!(benches);

@@ -1,0 +1,90 @@
+//! Criterion bench for E9 (§5.1.1): grounded-disjunction construction
+//! versus the null-store update as the telephone domain grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pwdb::relational::{
+    update::{execute_where_insert, ArgSpec},
+    Condition, ExtendedInsert, NullStore, RelSchema, SymRef, TypeAlgebra, TypeExpr,
+};
+
+fn build(telnos: usize) -> (RelSchema, pwdb::relational::schema::RelId) {
+    let mut algebra = TypeAlgebra::new();
+    let phone_names: Vec<String> = (0..telnos).map(|i| format!("t{i}")).collect();
+    let phone_refs: Vec<&str> = phone_names.iter().map(String::as_str).collect();
+    let person = algebra.add_type("person", &["jones"]);
+    let dept = algebra.add_type("dept", &["sales"]);
+    let telno = algebra.add_type("telno", &phone_refs);
+    let mut schema = RelSchema::new(algebra);
+    let r = schema.add_relation("R", vec![person, dept, telno]);
+    (schema, r)
+}
+
+fn bench_grounded(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e9_grounded_disjunction");
+    for telnos in [8usize, 24, 56] {
+        let (schema, r) = build(telnos);
+        let ground = schema.ground();
+        let jones = schema.algebra().constant("jones").unwrap();
+        let sales = schema.algebra().constant("sales").unwrap();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(telnos),
+            &(schema, ground),
+            |bench, (schema, ground)| {
+                bench.iter(|| {
+                    pwdb::relational::grounded_some_value_wff(
+                        schema,
+                        ground,
+                        r,
+                        &[Some(jones), Some(sales), None],
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_null_store(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e9_null_store_update");
+    for telnos in [8usize, 24, 56] {
+        let (schema, r) = build(telnos);
+        let jones = schema.algebra().constant("jones").unwrap();
+        let sales = schema.algebra().constant("sales").unwrap();
+        let t0 = schema.algebra().constant("t0").unwrap();
+        let telno_expr = TypeExpr::Base(schema.algebra().type_id("telno").unwrap());
+        group.bench_with_input(
+            BenchmarkId::from_parameter(telnos),
+            &schema,
+            |bench, schema| {
+                bench.iter(|| {
+                    let mut store = NullStore::new();
+                    store.add_fact(
+                        r,
+                        vec![
+                            SymRef::External(jones),
+                            SymRef::External(sales),
+                            SymRef::External(t0),
+                        ],
+                    );
+                    let insert = ExtendedInsert {
+                        rel: r,
+                        args: vec![
+                            ArgSpec::Var("x".into()),
+                            ArgSpec::Var("y".into()),
+                            ArgSpec::Exists(telno_expr.clone()),
+                        ],
+                    };
+                    let conditions = vec![
+                        Condition::Eq("x".into(), jones),
+                        Condition::InType("y".into(), TypeExpr::Universe),
+                    ];
+                    execute_where_insert(&mut store, schema, &insert, &conditions)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_grounded, bench_null_store);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Criterion bench for E11 (§4): cost decomposition of an HLU insert —
+//! parameter-only operations (`genmask`, `complement`) versus the
+//! state-touching `mask`, and insert vs bare mask (the paper's claim that
+//! inserting `{A1 ∨ A2}` is at least as complex as masking `{A1, A2}`).
+
+use std::collections::BTreeSet;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pwdb::blu::{BluClausal, BluSemantics};
+use pwdb::logic::{AtomId, AtomTable};
+use pwdb_bench::{random_clause_set, rng};
+
+fn bench_decomposition(c: &mut Criterion) {
+    let alg = BluClausal::new();
+    let mut t = AtomTable::with_indexed_atoms(24);
+    let param = pwdb::logic::parse_clause_set("{A1 | A2}", &mut t).unwrap();
+    let mask: BTreeSet<AtomId> = [AtomId(0), AtomId(1)].into_iter().collect();
+
+    let mut group = c.benchmark_group("e11_parameter_ops");
+    group.bench_function("genmask(param)", |b| b.iter(|| alg.op_genmask(&param)));
+    group.bench_function("complement(param)", |b| {
+        b.iter(|| alg.op_complement(&param))
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("e11_state_ops");
+    for clauses in [64usize, 256] {
+        let mut r = rng(7000 + clauses as u64);
+        let state = random_clause_set(&mut r, 24, clauses, 3);
+        group.bench_with_input(
+            BenchmarkId::new("mask(state)", state.length()),
+            &state,
+            |b, s| b.iter(|| alg.op_mask(s, &mask)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("full_insert", state.length()),
+            &state,
+            |b, s| {
+                b.iter(|| {
+                    let g = alg.op_genmask(&param);
+                    let m = alg.op_mask(s, &g);
+                    alg.op_assert(&m, &param)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_decomposition);
+criterion_main!(benches);

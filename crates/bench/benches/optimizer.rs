@@ -1,0 +1,49 @@
+//! Ablation bench for the BLU term optimizer: evaluation cost of
+//! redundant programs before and after rewriting, plus the rewrite cost
+//! itself. (The §4 "correctness-preserving optimizations" at the program
+//! level.)
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pwdb::blu::{eval_sterm, BluClausal, Env, Optimizer, STerm};
+use pwdb_bench::{random_clause_set, rng};
+
+/// A deliberately redundant term a naive program generator might emit:
+/// `(combine (assert (assert s0 s0) s1) (assert s0 (combine s0 s1)))`
+/// nested a few levels.
+fn redundant_term(depth: usize) -> STerm {
+    let mut t = STerm::var("s0")
+        .assert(STerm::var("s0"))
+        .assert(STerm::var("s1"))
+        .combine(STerm::var("s0").assert(STerm::var("s0").combine(STerm::var("s1"))));
+    for _ in 0..depth {
+        t = t.clone().assert(t.clone().combine(t.clone()).assert(t));
+    }
+    t
+}
+
+fn bench_optimizer(c: &mut Criterion) {
+    let term = redundant_term(1);
+    let (optimized, stats) = Optimizer::new().optimize_term(&term);
+    assert!(stats.size_after < stats.size_before);
+
+    let mut r = rng(9000);
+    let alg = BluClausal::new();
+    let mut env: Env<BluClausal> = Env::new();
+    env.bind_state("s0", random_clause_set(&mut r, 16, 24, 3));
+    env.bind_state("s1", random_clause_set(&mut r, 16, 12, 3));
+
+    let mut group = c.benchmark_group("optimizer_ablation");
+    group.bench_function("eval_raw", |b| {
+        b.iter(|| eval_sterm(&alg, &term, &env).unwrap())
+    });
+    group.bench_function("eval_optimized", |b| {
+        b.iter(|| eval_sterm(&alg, &optimized, &env).unwrap())
+    });
+    group.bench_function("rewrite_cost", |b| {
+        b.iter(|| Optimizer::new().optimize_term(&term))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_optimizer);
+criterion_main!(benches);

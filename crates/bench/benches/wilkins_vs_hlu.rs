@@ -1,0 +1,69 @@
+//! Criterion bench for E6/E7 (§3.3.1): update and query latency of the
+//! mask-based clausal HLU engine versus the Wilkins auxiliary-letter
+//! engine.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pwdb::hlu::ClausalDatabase;
+use pwdb::logic::Wff;
+use pwdb::wilkins::WilkinsDb;
+use pwdb_bench::{random_wff, rng};
+
+const N_ATOMS: usize = 12;
+
+fn script(k: usize) -> Vec<Wff> {
+    let mut r = rng(6000);
+    (0..k).map(|_| random_wff(&mut r, N_ATOMS, 1)).collect()
+}
+
+fn bench_updates(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e6_update_script");
+    group.sample_size(10);
+    for k in [8usize, 16, 32] {
+        let s = script(k);
+        group.bench_with_input(BenchmarkId::new("hegner", k), &s, |bench, s| {
+            bench.iter(|| {
+                let mut db = ClausalDatabase::new();
+                for w in s {
+                    db.insert(w.clone());
+                }
+                db
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("wilkins", k), &s, |bench, s| {
+            bench.iter(|| {
+                let mut db = WilkinsDb::new(N_ATOMS);
+                for w in s {
+                    db.insert(w);
+                }
+                db
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_query_after_updates(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_query_after_k_updates");
+    group.sample_size(10);
+    let mut qr = rng(6100);
+    let queries: Vec<Wff> = (0..10).map(|_| random_wff(&mut qr, N_ATOMS, 2)).collect();
+    for k in [8usize, 32] {
+        let s = script(k);
+        let mut hegner = ClausalDatabase::new();
+        let mut wilkins = WilkinsDb::new(N_ATOMS);
+        for w in &s {
+            hegner.insert(w.clone());
+            wilkins.insert(w);
+        }
+        group.bench_with_input(BenchmarkId::new("hegner", k), &queries, |bench, qs| {
+            bench.iter(|| qs.iter().filter(|q| hegner.is_certain(q)).count())
+        });
+        group.bench_with_input(BenchmarkId::new("wilkins", k), &queries, |bench, qs| {
+            bench.iter(|| qs.iter().filter(|q| wilkins.query_certain(q)).count())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_updates, bench_query_after_updates);
+criterion_main!(benches);

@@ -1,0 +1,206 @@
+//! Workload generation and measurement helpers for the experiment
+//! harness.
+//!
+//! The paper reports no tables or figures — its quantitative content is
+//! the complexity theorems (2.3.4, 2.3.6, 2.3.9), the worked examples
+//! (3.1.5, 3.2.5), the comparative claims of §3.3/§4, and the grounding
+//! blowup of §5.1.1. Each `report_e*` binary in this crate regenerates
+//! one of those claims (see DESIGN.md's experiment index and
+//! EXPERIMENTS.md for paper-vs-measured); the Criterion benches under
+//! `benches/` provide the statistically careful timings.
+
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use pwdb::logic::{AtomId, Clause, ClauseSet, Literal, Wff};
+
+/// Deterministic RNG for reproducible workloads.
+pub fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// A random non-tautological clause of exactly `width` distinct atoms.
+pub fn random_clause(rng: &mut StdRng, n_atoms: usize, width: usize) -> Clause {
+    assert!(width <= n_atoms);
+    // Sample distinct atoms by partial shuffle.
+    let mut atoms: Vec<u32> = (0..n_atoms as u32).collect();
+    for i in 0..width {
+        let j = rng.gen_range(i..atoms.len());
+        atoms.swap(i, j);
+    }
+    Clause::new(
+        atoms[..width]
+            .iter()
+            .map(|&a| Literal::new(AtomId(a), rng.gen_bool(0.5)))
+            .collect(),
+    )
+}
+
+/// A random clause set with `n_clauses` clauses of width `width` over
+/// `n_atoms` atoms. Duplicate draws are retried so the set has exactly
+/// the requested clause count (give up after 10× oversampling).
+pub fn random_clause_set(
+    rng: &mut StdRng,
+    n_atoms: usize,
+    n_clauses: usize,
+    width: usize,
+) -> ClauseSet {
+    let mut set = ClauseSet::new();
+    let mut attempts = 0;
+    while set.len() < n_clauses && attempts < n_clauses * 10 {
+        set.insert(random_clause(rng, n_atoms, width));
+        attempts += 1;
+    }
+    set
+}
+
+/// A random clause set with mixed widths in `1..=max_width`.
+pub fn random_mixed_clause_set(
+    rng: &mut StdRng,
+    n_atoms: usize,
+    n_clauses: usize,
+    max_width: usize,
+) -> ClauseSet {
+    let mut set = ClauseSet::new();
+    let mut attempts = 0;
+    while set.len() < n_clauses && attempts < n_clauses * 10 {
+        let w = rng.gen_range(1..=max_width);
+        set.insert(random_clause(rng, n_atoms, w));
+        attempts += 1;
+    }
+    set
+}
+
+/// A random wff of the given AST depth (for update parameters).
+pub fn random_wff(rng: &mut StdRng, n_atoms: usize, depth: usize) -> Wff {
+    if depth == 0 {
+        let a = Wff::atom(rng.gen_range(0..n_atoms as u32));
+        return if rng.gen_bool(0.3) { a.not() } else { a };
+    }
+    let l = random_wff(rng, n_atoms, depth - 1);
+    let r = random_wff(rng, n_atoms, depth - 1);
+    match rng.gen_range(0..4) {
+        0 => l.and(r),
+        1 => l.or(r),
+        2 => l.implies(r),
+        _ => l.iff(r),
+    }
+}
+
+/// Times one call.
+pub fn time<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed())
+}
+
+/// Median of repeated timings (value from the first run).
+pub fn time_median<T>(reps: usize, mut f: impl FnMut() -> T) -> (T, Duration) {
+    assert!(reps >= 1);
+    let mut durations = Vec::with_capacity(reps);
+    let (first, d0) = time(&mut f);
+    durations.push(d0);
+    for _ in 1..reps {
+        let (_, d) = time(&mut f);
+        durations.push(d);
+    }
+    durations.sort_unstable();
+    (first, durations[durations.len() / 2])
+}
+
+/// Formats a duration in adaptive units for the report tables.
+pub fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 10_000 {
+        format!("{nanos} ns")
+    } else if nanos < 10_000_000 {
+        format!("{:.1} µs", nanos as f64 / 1e3)
+    } else if nanos < 10_000_000_000 {
+        format!("{:.1} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.2} s", nanos as f64 / 1e9)
+    }
+}
+
+/// Prints an aligned table: header plus rows of equal arity.
+pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        assert_eq!(row.len(), header.len(), "row arity mismatch");
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let line = |cells: Vec<&str>| {
+        let mut out = String::new();
+        for (i, c) in cells.iter().enumerate() {
+            out.push_str(&format!("{:>width$}  ", c, width = widths[i]));
+        }
+        println!("{}", out.trim_end());
+    };
+    line(header.to_vec());
+    line(widths.iter().map(|_| "---").collect());
+    for row in rows {
+        line(row.iter().map(String::as_str).collect());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_clause_has_requested_width() {
+        let mut r = rng(1);
+        for _ in 0..50 {
+            let c = random_clause(&mut r, 10, 4);
+            assert_eq!(c.len(), 4);
+            assert!(!c.is_tautology());
+        }
+    }
+
+    #[test]
+    fn random_clause_set_reaches_size() {
+        let mut r = rng(2);
+        let s = random_clause_set(&mut r, 20, 30, 3);
+        assert_eq!(s.len(), 30);
+        assert_eq!(s.length(), 90);
+    }
+
+    #[test]
+    fn random_set_is_reproducible() {
+        let a = random_clause_set(&mut rng(7), 10, 5, 3);
+        let b = random_clause_set(&mut rng(7), 10, 5, 3);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn random_wff_depth_bounds_size() {
+        let mut r = rng(3);
+        let w = random_wff(&mut r, 5, 3);
+        assert!(w.size() <= 2usize.pow(4) * 2);
+        assert!(w.atom_bound() <= 5);
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_duration(Duration::from_nanos(500)), "500 ns");
+        assert_eq!(fmt_duration(Duration::from_micros(50)), "50.0 µs");
+        assert_eq!(fmt_duration(Duration::from_millis(50)), "50.0 ms");
+        assert_eq!(fmt_duration(Duration::from_secs(50)), "50.00 s");
+    }
+
+    #[test]
+    fn time_median_runs_reps() {
+        let mut count = 0;
+        let (v, _) = time_median(5, || {
+            count += 1;
+            count
+        });
+        assert_eq!(v, 1);
+        assert_eq!(count, 5);
+    }
+}

@@ -1,0 +1,439 @@
+//! The abstract syntax of BLU (Definitions 2.1.1, 2.1.2).
+//!
+//! Terms are sorted: [`STerm`]s denote states, [`MTerm`]s denote masks.
+//! The operator arities of the algebraic signature are enforced by the
+//! types themselves — an ill-sorted term is unrepresentable.
+//!
+//! Variables are kept by name (`s0`, `s1`, `m0`, …, and the suffixed
+//! `s1.0`-style names produced by HLU's `where` macro-expansion,
+//! Definition 3.2.2). A [`Program`] is the lambda form, with parameter
+//! sorts inferred from use.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// The two sorts of the BLU signature (Definition 2.1.1(a)(i)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Sort {
+    /// The sort of database states.
+    State,
+    /// The sort of masks.
+    Mask,
+}
+
+impl fmt::Display for Sort {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Sort::State => write!(f, "S"),
+            Sort::Mask => write!(f, "M"),
+        }
+    }
+}
+
+/// A state-sorted term (Definition 2.1.1(c)).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum STerm {
+    /// A state variable.
+    Var(String),
+    /// `(assert s₀ s₁)`.
+    Assert(Box<STerm>, Box<STerm>),
+    /// `(combine s₀ s₁)`.
+    Combine(Box<STerm>, Box<STerm>),
+    /// `(complement s₀)`.
+    Complement(Box<STerm>),
+    /// `(mask s₀ m)`.
+    Mask(Box<STerm>, Box<MTerm>),
+}
+
+/// A mask-sorted term (Definition 2.1.1(c)).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MTerm {
+    /// A mask variable.
+    Var(String),
+    /// `(genmask s₀)`.
+    Genmask(Box<STerm>),
+}
+
+impl STerm {
+    /// Shorthand for a variable term.
+    pub fn var(name: &str) -> Self {
+        STerm::Var(name.to_owned())
+    }
+
+    /// `(assert self rhs)`.
+    pub fn assert(self, rhs: STerm) -> Self {
+        STerm::Assert(Box::new(self), Box::new(rhs))
+    }
+
+    /// `(combine self rhs)`.
+    pub fn combine(self, rhs: STerm) -> Self {
+        STerm::Combine(Box::new(self), Box::new(rhs))
+    }
+
+    /// `(complement self)`.
+    pub fn complement(self) -> Self {
+        STerm::Complement(Box::new(self))
+    }
+
+    /// `(mask self m)`.
+    pub fn mask(self, m: MTerm) -> Self {
+        STerm::Mask(Box::new(self), Box::new(m))
+    }
+
+    /// `(genmask self)`.
+    pub fn genmask(self) -> MTerm {
+        MTerm::Genmask(Box::new(self))
+    }
+
+    /// Records each variable's sort of occurrence in `vars`, in first-use
+    /// order; conflicting sorted uses are reported as `Err(name)`.
+    pub fn collect_vars(&self, vars: &mut Vec<(String, Sort)>) -> Result<(), String> {
+        match self {
+            STerm::Var(v) => record_var(vars, v, Sort::State),
+            STerm::Assert(a, b) | STerm::Combine(a, b) => {
+                a.collect_vars(vars)?;
+                b.collect_vars(vars)
+            }
+            STerm::Complement(a) => a.collect_vars(vars),
+            STerm::Mask(a, m) => {
+                a.collect_vars(vars)?;
+                m.collect_vars(vars)
+            }
+        }
+    }
+
+    /// Renames every variable via `f` (used by the `where` expansion's
+    /// collision-free renaming, Definition 3.2.2).
+    pub fn rename(&self, f: &dyn Fn(&str) -> String) -> STerm {
+        match self {
+            STerm::Var(v) => STerm::Var(f(v)),
+            STerm::Assert(a, b) => a.rename(f).assert(b.rename(f)),
+            STerm::Combine(a, b) => a.rename(f).combine(b.rename(f)),
+            STerm::Complement(a) => a.rename(f).complement(),
+            STerm::Mask(a, m) => a.rename(f).mask(m.rename(f)),
+        }
+    }
+
+    /// Substitutes state variables by terms (lambda-variable substitution
+    /// as used in Example 3.2.5's reduction). Mask variables are left
+    /// untouched.
+    pub fn substitute(&self, subst: &BTreeMap<String, STerm>) -> STerm {
+        match self {
+            STerm::Var(v) => subst.get(v).cloned().unwrap_or_else(|| self.clone()),
+            STerm::Assert(a, b) => a.substitute(subst).assert(b.substitute(subst)),
+            STerm::Combine(a, b) => a.substitute(subst).combine(b.substitute(subst)),
+            STerm::Complement(a) => a.substitute(subst).complement(),
+            STerm::Mask(a, m) => a.substitute(subst).mask(match &**m {
+                MTerm::Var(_) => (**m).clone(),
+                MTerm::Genmask(s) => MTerm::Genmask(Box::new(s.substitute(subst))),
+            }),
+        }
+    }
+
+    /// Number of operator applications (program size metric).
+    pub fn size(&self) -> usize {
+        match self {
+            STerm::Var(_) => 1,
+            STerm::Assert(a, b) | STerm::Combine(a, b) => 1 + a.size() + b.size(),
+            STerm::Complement(a) => 1 + a.size(),
+            STerm::Mask(a, m) => 1 + a.size() + m.size(),
+        }
+    }
+}
+
+impl MTerm {
+    /// Shorthand for a variable term.
+    pub fn var(name: &str) -> Self {
+        MTerm::Var(name.to_owned())
+    }
+
+    /// See [`STerm::collect_vars`].
+    pub fn collect_vars(&self, vars: &mut Vec<(String, Sort)>) -> Result<(), String> {
+        match self {
+            MTerm::Var(v) => record_var(vars, v, Sort::Mask),
+            MTerm::Genmask(s) => s.collect_vars(vars),
+        }
+    }
+
+    /// See [`STerm::rename`].
+    pub fn rename(&self, f: &dyn Fn(&str) -> String) -> MTerm {
+        match self {
+            MTerm::Var(v) => MTerm::Var(f(v)),
+            MTerm::Genmask(s) => MTerm::Genmask(Box::new(s.rename(f))),
+        }
+    }
+
+    /// Number of operator applications.
+    pub fn size(&self) -> usize {
+        match self {
+            MTerm::Var(_) => 1,
+            MTerm::Genmask(s) => 1 + s.size(),
+        }
+    }
+}
+
+fn record_var(vars: &mut Vec<(String, Sort)>, name: &str, sort: Sort) -> Result<(), String> {
+    match vars.iter().find(|(n, _)| n == name) {
+        Some((_, existing)) if *existing != sort => Err(name.to_owned()),
+        Some(_) => Ok(()),
+        None => {
+            vars.push((name.to_owned(), sort));
+            Ok(())
+        }
+    }
+}
+
+/// A program parameter with its inferred sort.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Param {
+    /// Parameter name as written in the varlist.
+    pub name: String,
+    /// Sort inferred from the body.
+    pub sort: Sort,
+}
+
+/// A BLU program: `(lambda ⟨varlist⟩ ⟨S-term⟩)` (Definition 2.1.2).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Program {
+    params: Vec<Param>,
+    body: STerm,
+}
+
+/// Violations of the well-formedness conditions of Definition 2.1.2.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProgramError {
+    /// The varlist does not start with `s0`.
+    MissingS0,
+    /// The body does not mention `s0`.
+    BodyIgnoresS0,
+    /// A varlist entry never occurs in the body, or a body variable is
+    /// missing from the varlist.
+    VarlistMismatch(String),
+    /// A variable is used at both sorts.
+    SortConflict(String),
+}
+
+impl fmt::Display for ProgramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProgramError::MissingS0 => write!(f, "varlist must start with s0"),
+            ProgramError::BodyIgnoresS0 => write!(f, "program body must contain s0"),
+            ProgramError::VarlistMismatch(v) => {
+                write!(f, "varlist and body variables disagree on '{v}'")
+            }
+            ProgramError::SortConflict(v) => {
+                write!(f, "variable '{v}' used at both sorts")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProgramError {}
+
+impl Program {
+    /// Builds a program, enforcing Definition 2.1.2: the varlist starts
+    /// with `s0`, lists precisely the body's variables, and the body
+    /// mentions `s0`. Parameter sorts are inferred from the body.
+    pub fn new(varlist: Vec<String>, body: STerm) -> Result<Self, ProgramError> {
+        if varlist.first().map(String::as_str) != Some("s0") {
+            return Err(ProgramError::MissingS0);
+        }
+        let mut used = Vec::new();
+        body.collect_vars(&mut used)
+            .map_err(ProgramError::SortConflict)?;
+        if !used.iter().any(|(n, _)| n == "s0") {
+            return Err(ProgramError::BodyIgnoresS0);
+        }
+        // The varlist must contain precisely the body variables.
+        for name in &varlist {
+            if !used.iter().any(|(n, _)| n == name) {
+                return Err(ProgramError::VarlistMismatch(name.clone()));
+            }
+        }
+        for (name, _) in &used {
+            if !varlist.contains(name) {
+                return Err(ProgramError::VarlistMismatch(name.clone()));
+            }
+        }
+        let params = varlist
+            .into_iter()
+            .map(|name| {
+                let sort = used
+                    .iter()
+                    .find(|(n, _)| n == &name)
+                    .map(|(_, s)| *s)
+                    .expect("checked above");
+                Param { name, sort }
+            })
+            .collect();
+        Ok(Program { params, body })
+    }
+
+    /// The parameter list (the paper's `arglist`, Definition 3.2.2(b)).
+    pub fn params(&self) -> &[Param] {
+        &self.params
+    }
+
+    /// The body term.
+    pub fn body(&self) -> &STerm {
+        &self.body
+    }
+
+    /// Number of parameters.
+    pub fn arity(&self) -> usize {
+        self.params.len()
+    }
+}
+
+impl fmt::Display for STerm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            STerm::Var(v) => write!(f, "{v}"),
+            STerm::Assert(a, b) => write!(f, "(assert {a} {b})"),
+            STerm::Combine(a, b) => write!(f, "(combine {a} {b})"),
+            STerm::Complement(a) => write!(f, "(complement {a})"),
+            STerm::Mask(a, m) => write!(f, "(mask {a} {m})"),
+        }
+    }
+}
+
+impl fmt::Display for MTerm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MTerm::Var(v) => write!(f, "{v}"),
+            MTerm::Genmask(s) => write!(f, "(genmask {s})"),
+        }
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(lambda (")?;
+        for (i, p) in self.params.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{}", p.name)?;
+        }
+        write!(f, ") {})", self.body)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &str) -> STerm {
+        STerm::var(v)
+    }
+
+    #[test]
+    fn builders_produce_expected_shapes() {
+        let t = s("s1").assert(s("s0").mask(s("s1").genmask()));
+        assert_eq!(t.to_string(), "(assert s1 (mask s0 (genmask s1)))");
+        assert_eq!(t.size(), 6);
+    }
+
+    #[test]
+    fn program_requires_s0_first() {
+        let body = s("s0");
+        assert_eq!(
+            Program::new(vec!["s1".into()], body.clone()).unwrap_err(),
+            ProgramError::MissingS0
+        );
+        assert!(Program::new(vec!["s0".into()], body).is_ok());
+    }
+
+    #[test]
+    fn program_requires_s0_in_body() {
+        let body = s("s1").assert(s("s1"));
+        assert_eq!(
+            Program::new(vec!["s0".into(), "s1".into()], body).unwrap_err(),
+            ProgramError::BodyIgnoresS0
+        );
+    }
+
+    #[test]
+    fn program_rejects_varlist_mismatch() {
+        let body = s("s0");
+        assert_eq!(
+            Program::new(vec!["s0".into(), "s1".into()], body).unwrap_err(),
+            ProgramError::VarlistMismatch("s1".into())
+        );
+        let body2 = s("s0").assert(s("s1"));
+        assert_eq!(
+            Program::new(vec!["s0".into()], body2).unwrap_err(),
+            ProgramError::VarlistMismatch("s1".into())
+        );
+    }
+
+    #[test]
+    fn program_infers_mask_sort() {
+        // HLU-clear: (lambda (s0 s1) (mask s0 s1)) — s1 is mask-sorted.
+        let body = s("s0").mask(MTerm::var("s1"));
+        let p = Program::new(vec!["s0".into(), "s1".into()], body).unwrap();
+        assert_eq!(p.params()[0].sort, Sort::State);
+        assert_eq!(p.params()[1].sort, Sort::Mask);
+    }
+
+    #[test]
+    fn sort_conflict_detected() {
+        // s1 used both as state and as mask.
+        let body = s("s0").assert(s("s1")).mask(MTerm::var("s1"));
+        assert_eq!(
+            Program::new(vec!["s0".into(), "s1".into()], body).unwrap_err(),
+            ProgramError::SortConflict("s1".into())
+        );
+    }
+
+    #[test]
+    fn rename_appends_suffix() {
+        let t = s("s1").assert(s("s0").mask(MTerm::var("m1")));
+        let renamed = t.rename(&|v| {
+            if v == "s0" {
+                v.to_owned()
+            } else {
+                format!("{v}.0")
+            }
+        });
+        assert_eq!(renamed.to_string(), "(assert s1.0 (mask s0 m1.0))");
+    }
+
+    #[test]
+    fn substitute_replaces_state_vars() {
+        let t = s("s1").assert(s("s0"));
+        let mut map = BTreeMap::new();
+        map.insert("s1".to_owned(), s("s0").complement());
+        assert_eq!(
+            t.substitute(&map).to_string(),
+            "(assert (complement s0) s0)"
+        );
+    }
+
+    #[test]
+    fn substitute_descends_into_genmask() {
+        let t = s("s0").mask(s("s1").genmask());
+        let mut map = BTreeMap::new();
+        map.insert("s1".to_owned(), s("s2").combine(s("s3")));
+        assert_eq!(
+            t.substitute(&map).to_string(),
+            "(mask s0 (genmask (combine s2 s3)))"
+        );
+    }
+
+    #[test]
+    fn collect_vars_first_use_order() {
+        let t = s("s2").assert(s("s0").mask(MTerm::var("m0")));
+        let mut vars = Vec::new();
+        t.collect_vars(&mut vars).unwrap();
+        let names: Vec<&str> = vars.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["s2", "s0", "m0"]);
+    }
+
+    #[test]
+    fn display_of_program() {
+        let body = s("s0").assert(s("s1"));
+        let p = Program::new(vec!["s0".into(), "s1".into()], body).unwrap();
+        assert_eq!(p.to_string(), "(lambda (s0 s1) (assert s0 s1))");
+    }
+}

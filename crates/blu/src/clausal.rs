@@ -1,0 +1,518 @@
+//! **BLU-C**: the clause-level semantics (§2.3).
+//!
+//! States are sets of clauses (`2^{CF[D]}`), masks are sets of proposition
+//! letters (`2^{Prop[D]}`). The operators are *algorithms*, not abstract
+//! operations — the paper's Algorithms 2.3.3, 2.3.5 and 2.3.8 — and this
+//! module implements them as written, plus optimized variants whose
+//! improvements are exactly the "correctness-preserving optimizations"
+//! §4 alludes to (tautology elimination and subsumption reduction).
+//!
+//! Complexity (Theorems 2.3.4(b), 2.3.6(b), 2.3.9(b)) — reproduced by the
+//! `pwdb-bench` experiments E1–E5:
+//!
+//! | op          | worst case                                     |
+//! |-------------|------------------------------------------------|
+//! | `assert`    | Θ(L₁ + L₂)                                     |
+//! | `combine`   | Θ(L₁ × L₂)                                     |
+//! | `complement`| Θ(ε^L), ε = e^{1/e}                            |
+//! | `mask`      | O(L^{2^|P|})                                   |
+//! | `genmask`   | Θ(2^{|Prop|} · L · |Prop|²); NP-complete core |
+
+use std::collections::BTreeSet;
+
+use pwdb_logic::resolution::{drop_atoms, rclosure_on_atom};
+use pwdb_logic::{AtomId, Clause, ClauseSet, Literal};
+
+use crate::eval::BluSemantics;
+
+/// Which algorithm `genmask` uses for the (NP-complete) dependence test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum GenmaskStrategy {
+    /// Algorithm 2.3.8 as written: enumerate the `Ldiff` assignment pairs
+    /// over `Prop[Phi]` and compare truth values — exponential in the
+    /// letter count.
+    #[default]
+    PaperExhaustive,
+    /// Decide dependence by cofactor equivalence with the DPLL solver:
+    /// `Φ` depends on `A` iff `Φ[A:=1] ≢ Φ[A:=0]`.
+    SatBased,
+}
+
+/// The BLU-C algebra.
+#[derive(Debug, Clone, Default)]
+pub struct BluClausal {
+    genmask_strategy: GenmaskStrategy,
+    /// Apply subsumption reduction after `combine`, `complement`, and each
+    /// `mask` elimination step. Off by default (paper-exact shapes).
+    reduce: bool,
+}
+
+impl BluClausal {
+    /// Paper-exact algebra (tautologies dropped, no further reduction).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Selects the genmask strategy.
+    pub fn with_genmask(mut self, strategy: GenmaskStrategy) -> Self {
+        self.genmask_strategy = strategy;
+        self
+    }
+
+    /// Enables subsumption reduction (the optimized variant).
+    pub fn with_reduction(mut self, reduce: bool) -> Self {
+        self.reduce = reduce;
+        self
+    }
+
+    fn maybe_reduce(&self, mut set: ClauseSet) -> ClauseSet {
+        if self.reduce {
+            set.reduce_subsumed();
+        }
+        set
+    }
+
+    // ------------------------------------------------------------------
+    // Algorithm 2.3.3
+    // ------------------------------------------------------------------
+
+    /// `assert(Φ₁, Φ₂) = Φ₁ ∪ Φ₂` — Θ(L₁+L₂).
+    pub fn assert_clauses(phi1: &ClauseSet, phi2: &ClauseSet) -> ClauseSet {
+        let mut out = phi1.clone();
+        for c in phi2.iter() {
+            out.insert(c.clone());
+        }
+        out
+    }
+
+    /// `combine(Φ₁, Φ₂) = { φ₁ ∨ φ₂ | φ₁ ∈ Φ₁, φ₂ ∈ Φ₂ }` — Θ(L₁×L₂).
+    pub fn combine_clauses(phi1: &ClauseSet, phi2: &ClauseSet) -> ClauseSet {
+        let mut out = ClauseSet::new();
+        for c1 in phi1.iter() {
+            for c2 in phi2.iter() {
+                out.insert(c1.disjoin(c2));
+            }
+        }
+        out
+    }
+
+    /// `complement(Φ)` via the recursive support procedure `C` of
+    /// Algorithm 2.3.3 (iterated here): start from `Δ = {□}` and for each
+    /// clause `γ` replace every `δ ∈ Δ` by `{ δ ∨ ¬λ | λ ∈ Lit[γ] }`.
+    /// Output length is Θ(ε^L) in the worst case (ε = e^{1/e}, attained
+    /// by length-3 clauses).
+    ///
+    /// Tautological products are dropped (model-preserving).
+    pub fn complement_clauses(phi: &ClauseSet) -> ClauseSet {
+        let mut delta = ClauseSet::new();
+        delta.insert_raw(Clause::empty());
+        for gamma in phi.iter() {
+            let mut next = ClauseSet::new();
+            for d in delta.iter() {
+                for &lambda in gamma.literals() {
+                    next.insert(d.disjoin(&Clause::unit(lambda.negated())));
+                }
+            }
+            delta = next;
+        }
+        delta
+    }
+
+    // ------------------------------------------------------------------
+    // Algorithm 2.3.5
+    // ------------------------------------------------------------------
+
+    /// One elimination step of `mask`: `drop({A}, rclosure(Φ, {A}))`.
+    ///
+    /// `rclosure` ensures that when the clauses involving `A` are
+    /// discarded, "there are enough others around to completely describe
+    /// the constraints on those which are left" — this is resolution-based
+    /// variable forgetting.
+    pub fn mask_step(phi: &ClauseSet, atom: AtomId) -> ClauseSet {
+        let closed = rclosure_on_atom(phi, atom);
+        let single = BTreeSet::from([atom]);
+        drop_atoms(&closed, &single)
+    }
+
+    /// `mask(Φ, P)`: eliminates each letter of `P` in turn.
+    pub fn mask_clauses(&self, phi: &ClauseSet, mask: &BTreeSet<AtomId>) -> ClauseSet {
+        let mut out = phi.clone();
+        for &a in mask {
+            out = self.maybe_reduce(Self::mask_step(&out, a));
+        }
+        out
+    }
+
+    // ------------------------------------------------------------------
+    // Algorithm 2.3.8
+    // ------------------------------------------------------------------
+
+    /// `genmask(Φ)` by Algorithm 2.3.8: for each `A ∈ Prop[Φ]`, search the
+    /// pairs `(L₁, L₂) ∈ Ldiff[A, Φ]` — complete literal sets (`CLS[Φ]`,
+    /// Definition 2.3.7) differing only at `A` — for one on which `Φ`'s
+    /// truth value differs. Evaluating `Φ` under a complete literal set is
+    /// the fixed point of the paper's `unitres`: with every letter
+    /// decided, unit resolution reduces each clause to true or to `□`.
+    ///
+    /// Implementation note: the truth table over `Prop[Φ]` is computed
+    /// once and shared across the per-atom `Ldiff` scans (the paper's
+    /// loop recomputes it per pair); this is a constant-factor refinement
+    /// that leaves the exponential behavior of Theorem 2.3.9(b)
+    /// intact, as experiment E5 confirms.
+    pub fn genmask_paper(phi: &ClauseSet) -> BTreeSet<AtomId> {
+        let props: Vec<AtomId> = phi.props().into_iter().collect();
+        let k = props.len();
+        assert!(k <= 26, "paper genmask enumerates 2^|Prop| assignments");
+        // Per clause: bitmasks over prop *positions* for each polarity.
+        let position: std::collections::HashMap<AtomId, usize> = props
+            .iter()
+            .copied()
+            .enumerate()
+            .map(|(i, a)| (a, i))
+            .collect();
+        let clause_masks: Vec<(u64, u64)> = phi
+            .iter()
+            .map(|c| {
+                let mut pos = 0u64;
+                let mut neg = 0u64;
+                for &l in c.literals() {
+                    let bit = 1u64 << position[&l.atom()];
+                    if l.is_positive() {
+                        pos |= bit;
+                    } else {
+                        neg |= bit;
+                    }
+                }
+                (pos, neg)
+            })
+            .collect();
+        // Truth table of Φ over the 2^k complete literal sets.
+        let size = 1usize << k;
+        let mut truth = vec![false; size];
+        for (m, slot) in truth.iter_mut().enumerate() {
+            let m = m as u64;
+            *slot = clause_masks
+                .iter()
+                .all(|&(pos, neg)| (m & pos) != 0 || (!m & neg) != 0);
+        }
+        // Ldiff scan per atom.
+        let mut out = BTreeSet::new();
+        for (ai, &atom) in props.iter().enumerate() {
+            let bit = 1usize << ai;
+            let depends = (0..size)
+                .filter(|m| m & bit == 0)
+                .any(|m| truth[m] != truth[m | bit]);
+            if depends {
+                out.insert(atom);
+            }
+        }
+        out
+    }
+
+    /// The cofactor `Φ[A := value]`: satisfied clauses are dropped, the
+    /// falsified literal removed from the rest.
+    pub fn cofactor(phi: &ClauseSet, atom: AtomId, value: bool) -> ClauseSet {
+        let satisfied = Literal::new(atom, value);
+        let falsified = satisfied.negated();
+        let mut out = ClauseSet::new();
+        for c in phi.iter() {
+            if c.contains(satisfied) {
+                continue;
+            }
+            out.insert(c.without(falsified));
+        }
+        out
+    }
+
+    /// `genmask(Φ)` by SAT: `A ∈ genmask(Φ)` iff the two cofactors are
+    /// inequivalent. Decides the same NP-complete problem (Theorem
+    /// 2.3.9(c)) without full enumeration.
+    pub fn genmask_sat(phi: &ClauseSet) -> BTreeSet<AtomId> {
+        phi.props()
+            .into_iter()
+            .filter(|&a| {
+                let c1 = Self::cofactor(phi, a, true);
+                let c0 = Self::cofactor(phi, a, false);
+                !pwdb_logic::equivalent(&c1, &c0)
+            })
+            .collect()
+    }
+}
+
+impl BluSemantics for BluClausal {
+    type State = ClauseSet;
+    type Mask = BTreeSet<AtomId>;
+
+    fn op_assert(&self, x: &ClauseSet, y: &ClauseSet) -> ClauseSet {
+        Self::assert_clauses(x, y)
+    }
+
+    fn op_combine(&self, x: &ClauseSet, y: &ClauseSet) -> ClauseSet {
+        self.maybe_reduce(Self::combine_clauses(x, y))
+    }
+
+    fn op_complement(&self, x: &ClauseSet) -> ClauseSet {
+        self.maybe_reduce(Self::complement_clauses(x))
+    }
+
+    fn op_mask(&self, x: &ClauseSet, m: &BTreeSet<AtomId>) -> ClauseSet {
+        self.mask_clauses(x, m)
+    }
+
+    fn op_genmask(&self, x: &ClauseSet) -> BTreeSet<AtomId> {
+        match self.genmask_strategy {
+            GenmaskStrategy::PaperExhaustive => Self::genmask_paper(x),
+            GenmaskStrategy::SatBased => Self::genmask_sat(x),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pwdb_logic::{parse_clause, parse_clause_set, AtomTable};
+
+    fn t8() -> AtomTable {
+        AtomTable::with_indexed_atoms(8)
+    }
+
+    #[test]
+    fn assert_is_union() {
+        let mut t = t8();
+        let a = parse_clause_set("{A1, A2 | A3}", &mut t).unwrap();
+        let b = parse_clause_set("{A2 | A3, !A4}", &mut t).unwrap();
+        let u = BluClausal::assert_clauses(&a, &b);
+        assert_eq!(u.len(), 3);
+    }
+
+    #[test]
+    fn combine_is_pairwise_disjunction() {
+        let mut t = t8();
+        let a = parse_clause_set("{A1, A2}", &mut t).unwrap();
+        let b = parse_clause_set("{A3, A4}", &mut t).unwrap();
+        let c = BluClausal::combine_clauses(&a, &b);
+        let expected =
+            parse_clause_set("{A1 | A3, A1 | A4, A2 | A3, A2 | A4}", &mut t).unwrap();
+        assert_eq!(c, expected);
+    }
+
+    #[test]
+    fn combine_with_empty_state_is_empty() {
+        // Φ = ∅ denotes "no information" (all worlds); combine must give ∅.
+        let mut t = t8();
+        let a = parse_clause_set("{A1}", &mut t).unwrap();
+        assert!(BluClausal::combine_clauses(&a, &ClauseSet::new()).is_empty());
+    }
+
+    #[test]
+    fn combine_drops_tautological_products() {
+        let mut t = t8();
+        let a = parse_clause_set("{A1}", &mut t).unwrap();
+        let b = parse_clause_set("{!A1}", &mut t).unwrap();
+        // A1 ∨ ¬A1 is tautologous ⇒ empty set (all worlds) — and indeed
+        // Mod[{A1}] ∪ Mod[{¬A1}] is everything.
+        assert!(BluClausal::combine_clauses(&a, &b).is_empty());
+    }
+
+    #[test]
+    fn complement_of_empty_and_contradiction() {
+        // complement(∅) = {□}; complement({□}) = ∅.
+        let c = BluClausal::complement_clauses(&ClauseSet::new());
+        assert!(c.has_empty_clause());
+        assert_eq!(c.len(), 1);
+        let c2 = BluClausal::complement_clauses(&ClauseSet::contradiction());
+        assert!(c2.is_empty());
+    }
+
+    #[test]
+    fn complement_of_single_clause_negates_literals() {
+        let mut t = t8();
+        let phi = parse_clause_set("{A1 | !A2}", &mut t).unwrap();
+        let c = BluClausal::complement_clauses(&phi);
+        let expected = parse_clause_set("{!A1, A2}", &mut t).unwrap();
+        assert_eq!(c, expected);
+    }
+
+    #[test]
+    fn complement_cross_product_size() {
+        let mut t = t8();
+        // Two clauses of width 2 and 3 ⇒ up to 6 product clauses.
+        let phi = parse_clause_set("{A1 | A2, A3 | A4 | A5}", &mut t).unwrap();
+        let c = BluClausal::complement_clauses(&phi);
+        assert_eq!(c.len(), 6);
+    }
+
+    #[test]
+    fn complement_agrees_with_truth_table() {
+        let mut t = t8();
+        for src in [
+            "{A1}",
+            "{A1 | A2}",
+            "{A1, !A2}",
+            "{A1 | A2, !A1 | A3}",
+            "{A1 | !A2, A2 | A3, !A1 | !A3}",
+        ] {
+            let phi = parse_clause_set(src, &mut t).unwrap();
+            let comp = BluClausal::complement_clauses(&phi);
+            let n = phi.atom_bound().max(comp.atom_bound());
+            for w in pwdb_logic::Assignment::enumerate(n) {
+                assert_eq!(phi.eval(&w), !comp.eval(&w), "world {w} of {src}");
+            }
+        }
+    }
+
+    #[test]
+    fn mask_reproduces_example_3_1_5() {
+        let mut t = t8();
+        let phi =
+            parse_clause_set("{!A1 | A3, A1 | A4, A4 | A5, !A1 | !A2 | !A5}", &mut t).unwrap();
+        let alg = BluClausal::new();
+        let mask = BTreeSet::from([AtomId(0), AtomId(1)]);
+        let masked = alg.mask_clauses(&phi, &mask);
+        let expected = parse_clause_set("{A4 | A5, A3 | A4}", &mut t).unwrap();
+        assert_eq!(masked, expected);
+    }
+
+    #[test]
+    fn mask_of_unconstrained_atom_just_drops() {
+        let mut t = t8();
+        let phi = parse_clause_set("{A1 | A2, A3}", &mut t).unwrap();
+        let alg = BluClausal::new();
+        let masked = alg.mask_clauses(&phi, &BTreeSet::from([AtomId(2)]));
+        let expected = parse_clause_set("{A1 | A2}", &mut t).unwrap();
+        assert_eq!(masked, expected);
+    }
+
+    #[test]
+    fn mask_semantics_is_forgetting() {
+        // Mod[mask(Φ,P)] must equal the saturation of Mod[Φ] along P.
+        use pwdb_worlds::WorldSet;
+        let mut t = t8();
+        let alg = BluClausal::new();
+        for src in [
+            "{A1 | A2, !A2 | A3}",
+            "{A1, A2, A3}",
+            "{A1 | !A3, !A1 | A3}",
+            "{A1 | A2 | A3, !A1 | !A2}",
+        ] {
+            let phi = parse_clause_set(src, &mut t).unwrap();
+            for masked_atom in 0..3u32 {
+                let p = BTreeSet::from([AtomId(masked_atom)]);
+                let lhs = WorldSet::from_clauses(3, &alg.mask_clauses(&phi, &p));
+                let rhs = WorldSet::from_clauses(3, &phi).saturate(AtomId(masked_atom));
+                assert_eq!(lhs, rhs, "masking A{} of {src}", masked_atom + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn genmask_paper_matches_example() {
+        let mut t = t8();
+        let phi = parse_clause_set("{A1 | A2}", &mut t).unwrap();
+        assert_eq!(
+            BluClausal::genmask_paper(&phi),
+            BTreeSet::from([AtomId(0), AtomId(1)])
+        );
+    }
+
+    #[test]
+    fn genmask_sees_through_syntax() {
+        let mut t = t8();
+        // {A1 ∨ A2, A1 ∨ ¬A2} ≡ A1: depends on A1 only.
+        let phi = parse_clause_set("{A1 | A2, A1 | !A2}", &mut t).unwrap();
+        assert_eq!(BluClausal::genmask_paper(&phi), BTreeSet::from([AtomId(0)]));
+        assert_eq!(BluClausal::genmask_sat(&phi), BTreeSet::from([AtomId(0)]));
+    }
+
+    #[test]
+    fn genmask_strategies_agree() {
+        let mut t = t8();
+        for src in [
+            "{}",
+            "{A1}",
+            "{A1 | A2}",
+            "{A1 | A2, !A1 | A3}",
+            "{A1 | A2, A1 | !A2}",
+            "{A1 | A2 | A3, !A1 | !A2 | !A3}",
+            "{[]}",
+        ] {
+            let phi = parse_clause_set(src, &mut t).unwrap();
+            assert_eq!(
+                BluClausal::genmask_paper(&phi),
+                BluClausal::genmask_sat(&phi),
+                "set {src}"
+            );
+        }
+    }
+
+    #[test]
+    fn genmask_matches_semantic_dep() {
+        use pwdb_worlds::WorldSet;
+        let mut t = t8();
+        for src in [
+            "{A1 | A2, !A2 | A3}",
+            "{A1, !A1}",
+            "{A2 | A3}",
+            "{A1 | !A2, A2 | !A3, A3 | !A1}",
+        ] {
+            let phi = parse_clause_set(src, &mut t).unwrap();
+            let semantic: BTreeSet<AtomId> =
+                WorldSet::from_clauses(3, &phi).dep().into_iter().collect();
+            assert_eq!(BluClausal::genmask_paper(&phi), semantic, "set {src}");
+        }
+    }
+
+    #[test]
+    fn cofactor_shapes() {
+        let mut t = t8();
+        let phi = parse_clause_set("{A1 | A2, !A1 | A3, A4}", &mut t).unwrap();
+        let c1 = BluClausal::cofactor(&phi, AtomId(0), true);
+        let expected1 = parse_clause_set("{A3, A4}", &mut t).unwrap();
+        assert_eq!(c1, expected1);
+        let c0 = BluClausal::cofactor(&phi, AtomId(0), false);
+        let expected0 = parse_clause_set("{A2, A4}", &mut t).unwrap();
+        assert_eq!(c0, expected0);
+    }
+
+    #[test]
+    fn cofactor_can_produce_empty_clause() {
+        let mut t = t8();
+        let phi = parse_clause_set("{A1}", &mut t).unwrap();
+        let c = BluClausal::cofactor(&phi, AtomId(0), false);
+        assert!(c.has_empty_clause());
+    }
+
+    #[test]
+    fn reduction_variant_shrinks_but_preserves_models() {
+        use pwdb_worlds::WorldSet;
+        let mut t = t8();
+        let a = parse_clause_set("{A1, A1 | A2}", &mut t).unwrap();
+        let b = parse_clause_set("{A3, A3 | A4}", &mut t).unwrap();
+        let plain = BluClausal::new();
+        let reduced = BluClausal::new().with_reduction(true);
+        let c_plain = plain.op_combine(&a, &b);
+        let c_red = reduced.op_combine(&a, &b);
+        assert!(c_red.len() <= c_plain.len());
+        assert_eq!(
+            WorldSet::from_clauses(4, &c_plain),
+            WorldSet::from_clauses(4, &c_red)
+        );
+    }
+
+    #[test]
+    fn example_3_1_5_full_insert_program() {
+        // (insert {A1∨A2}) on Φ: mask {A1,A2} then assert the parameter.
+        let mut t = t8();
+        let phi =
+            parse_clause_set("{!A1 | A3, A1 | A4, A4 | A5, !A1 | !A2 | !A5}", &mut t).unwrap();
+        let param = parse_clause_set("{A1 | A2}", &mut t).unwrap();
+        let alg = BluClausal::new();
+        let gm = alg.op_genmask(&param);
+        assert_eq!(gm, BTreeSet::from([AtomId(0), AtomId(1)]));
+        let masked = alg.op_mask(&phi, &gm);
+        let asserted = alg.op_assert(&masked, &param);
+        let expected = parse_clause_set("{A1 | A2, A4 | A5, A3 | A4}", &mut t).unwrap();
+        assert_eq!(asserted, expected);
+        let _ = parse_clause("A1 | A2", &mut t).unwrap();
+    }
+}

@@ -1,0 +1,318 @@
+//! The generic BLU evaluator (Definition 2.2.1).
+//!
+//! An *implementation* of BLU is an algebra for its signature: concrete
+//! domains for the two sorts plus functions for the five operators. That
+//! is the [`BluSemantics`] trait. "Running a BLU program … amounts to
+//! binding appropriate concrete domain values to the argument list of the
+//! lambda expression and then evaluating the term" — [`run_program`] does
+//! exactly that, and is shared verbatim by **BLU-I** and **BLU-C**.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::ast::{MTerm, Param, Program, STerm, Sort};
+
+/// An implementation (algebra) of the BLU signature.
+pub trait BluSemantics {
+    /// Concrete domain for the state sort `S`.
+    type State: Clone;
+    /// Concrete domain for the mask sort `M`.
+    type Mask: Clone;
+
+    /// `assert : S × S → S`.
+    fn op_assert(&self, x: &Self::State, y: &Self::State) -> Self::State;
+    /// `combine : S × S → S`.
+    fn op_combine(&self, x: &Self::State, y: &Self::State) -> Self::State;
+    /// `complement : S → S`.
+    fn op_complement(&self, x: &Self::State) -> Self::State;
+    /// `mask : S × M → S`.
+    fn op_mask(&self, x: &Self::State, m: &Self::Mask) -> Self::State;
+    /// `genmask : S → M`.
+    fn op_genmask(&self, x: &Self::State) -> Self::Mask;
+}
+
+/// A value of either sort, for binding program arguments.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Value<S, M> {
+    /// A state-sorted value.
+    State(S),
+    /// A mask-sorted value.
+    Mask(M),
+}
+
+impl<S, M> Value<S, M> {
+    /// The sort of the value.
+    pub fn sort(&self) -> Sort {
+        match self {
+            Value::State(_) => Sort::State,
+            Value::Mask(_) => Sort::Mask,
+        }
+    }
+}
+
+/// Runtime errors from evaluating a term.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EvalError {
+    /// A variable had no binding.
+    Unbound(String),
+    /// A variable was bound at the wrong sort.
+    SortMismatch {
+        /// The offending variable.
+        name: String,
+        /// Sort the term position requires.
+        expected: Sort,
+    },
+    /// Wrong number of arguments supplied to a program.
+    Arity {
+        /// Parameters the program declares.
+        expected: usize,
+        /// Arguments supplied.
+        supplied: usize,
+    },
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::Unbound(v) => write!(f, "unbound variable '{v}'"),
+            EvalError::SortMismatch { name, expected } => {
+                write!(f, "variable '{name}' is not of sort {expected}")
+            }
+            EvalError::Arity { expected, supplied } => {
+                write!(f, "program expects {expected} argument(s), got {supplied}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+/// A variable environment for one evaluation.
+pub struct Env<A: BluSemantics + ?Sized> {
+    bindings: HashMap<String, Value<A::State, A::Mask>>,
+}
+
+impl<A: BluSemantics + ?Sized> Env<A> {
+    /// Empty environment.
+    pub fn new() -> Self {
+        Env {
+            bindings: HashMap::new(),
+        }
+    }
+
+    /// Binds a state variable.
+    pub fn bind_state(&mut self, name: &str, value: A::State) -> &mut Self {
+        self.bindings.insert(name.to_owned(), Value::State(value));
+        self
+    }
+
+    /// Binds a mask variable.
+    pub fn bind_mask(&mut self, name: &str, value: A::Mask) -> &mut Self {
+        self.bindings.insert(name.to_owned(), Value::Mask(value));
+        self
+    }
+
+    fn state(&self, name: &str) -> Result<&A::State, EvalError> {
+        match self.bindings.get(name) {
+            Some(Value::State(s)) => Ok(s),
+            Some(Value::Mask(_)) => Err(EvalError::SortMismatch {
+                name: name.to_owned(),
+                expected: Sort::State,
+            }),
+            None => Err(EvalError::Unbound(name.to_owned())),
+        }
+    }
+
+    fn mask(&self, name: &str) -> Result<&A::Mask, EvalError> {
+        match self.bindings.get(name) {
+            Some(Value::Mask(m)) => Ok(m),
+            Some(Value::State(_)) => Err(EvalError::SortMismatch {
+                name: name.to_owned(),
+                expected: Sort::Mask,
+            }),
+            None => Err(EvalError::Unbound(name.to_owned())),
+        }
+    }
+}
+
+impl<A: BluSemantics + ?Sized> Default for Env<A> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Evaluates a state term under an environment in implementation `alg`.
+pub fn eval_sterm<A: BluSemantics + ?Sized>(
+    alg: &A,
+    term: &STerm,
+    env: &Env<A>,
+) -> Result<A::State, EvalError> {
+    match term {
+        STerm::Var(v) => env.state(v).cloned(),
+        STerm::Assert(a, b) => {
+            let x = eval_sterm(alg, a, env)?;
+            let y = eval_sterm(alg, b, env)?;
+            Ok(alg.op_assert(&x, &y))
+        }
+        STerm::Combine(a, b) => {
+            let x = eval_sterm(alg, a, env)?;
+            let y = eval_sterm(alg, b, env)?;
+            Ok(alg.op_combine(&x, &y))
+        }
+        STerm::Complement(a) => {
+            let x = eval_sterm(alg, a, env)?;
+            Ok(alg.op_complement(&x))
+        }
+        STerm::Mask(a, m) => {
+            let x = eval_sterm(alg, a, env)?;
+            let mm = eval_mterm(alg, m, env)?;
+            Ok(alg.op_mask(&x, &mm))
+        }
+    }
+}
+
+/// Evaluates a mask term.
+pub fn eval_mterm<A: BluSemantics + ?Sized>(
+    alg: &A,
+    term: &MTerm,
+    env: &Env<A>,
+) -> Result<A::Mask, EvalError> {
+    match term {
+        MTerm::Var(v) => env.mask(v).cloned(),
+        MTerm::Genmask(s) => {
+            let x = eval_sterm(alg, s, env)?;
+            Ok(alg.op_genmask(&x))
+        }
+    }
+}
+
+/// Runs a program on an argument vector: binds positionally, checks sorts,
+/// evaluates the body.
+pub fn run_program<A: BluSemantics + ?Sized>(
+    alg: &A,
+    program: &Program,
+    args: Vec<Value<A::State, A::Mask>>,
+) -> Result<A::State, EvalError> {
+    let params: &[Param] = program.params();
+    if params.len() != args.len() {
+        return Err(EvalError::Arity {
+            expected: params.len(),
+            supplied: args.len(),
+        });
+    }
+    let mut env: Env<A> = Env::new();
+    for (p, v) in params.iter().zip(args) {
+        if p.sort != v.sort() {
+            return Err(EvalError::SortMismatch {
+                name: p.name.clone(),
+                expected: p.sort,
+            });
+        }
+        env.bindings.insert(p.name.clone(), v);
+    }
+    eval_sterm(alg, program.body(), &env)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    /// A toy algebra over `u32` bit-sets with 8 "worlds"; masks are
+    /// or-patterns smeared over the state. Just enough structure to test
+    /// the evaluator plumbing independently of the real semantics.
+    struct ToyAlg;
+
+    impl BluSemantics for ToyAlg {
+        type State = u32;
+        type Mask = u32;
+
+        fn op_assert(&self, x: &u32, y: &u32) -> u32 {
+            x & y
+        }
+        fn op_combine(&self, x: &u32, y: &u32) -> u32 {
+            x | y
+        }
+        fn op_complement(&self, x: &u32) -> u32 {
+            !x & 0xFF
+        }
+        fn op_mask(&self, x: &u32, m: &u32) -> u32 {
+            x | m
+        }
+        fn op_genmask(&self, x: &u32) -> u32 {
+            x.rotate_left(1) & 0xFF
+        }
+    }
+
+    #[test]
+    fn evaluates_boolean_structure() {
+        let p = parse_program("(lambda (s0 s1) (combine (assert s0 s1) (complement s0)))")
+            .unwrap();
+        let out = run_program(
+            &ToyAlg,
+            &p,
+            vec![Value::State(0b1100), Value::State(0b1010)],
+        )
+        .unwrap();
+        assert_eq!(out, (0b1100 & 0b1010) | (!0b1100u32 & 0xFF));
+    }
+
+    #[test]
+    fn evaluates_mask_and_genmask() {
+        let p = parse_program("(lambda (s0 s1) (mask s0 (genmask s1)))").unwrap();
+        let out =
+            run_program(&ToyAlg, &p, vec![Value::State(0b1), Value::State(0b1000)]).unwrap();
+        assert_eq!(out, 0b1 | (0b1000u32.rotate_left(1) & 0xFF));
+    }
+
+    #[test]
+    fn mask_variable_binding() {
+        let p = parse_program("(lambda (s0 m0) (mask s0 m0))").unwrap();
+        let out = run_program(&ToyAlg, &p, vec![Value::State(0b1), Value::Mask(0b10)]).unwrap();
+        assert_eq!(out, 0b11);
+    }
+
+    #[test]
+    fn arity_mismatch_reported() {
+        let p = parse_program("(lambda (s0) (complement s0))").unwrap();
+        assert_eq!(
+            run_program(&ToyAlg, &p, vec![]).unwrap_err(),
+            EvalError::Arity {
+                expected: 1,
+                supplied: 0
+            }
+        );
+    }
+
+    #[test]
+    fn sort_mismatch_reported() {
+        let p = parse_program("(lambda (s0 m0) (mask s0 m0))").unwrap();
+        let err = run_program(&ToyAlg, &p, vec![Value::State(1), Value::State(2)]).unwrap_err();
+        assert_eq!(
+            err,
+            EvalError::SortMismatch {
+                name: "m0".into(),
+                expected: Sort::Mask
+            }
+        );
+    }
+
+    #[test]
+    fn unbound_variable_reported() {
+        // Construct a term referencing an unbound name directly.
+        let term = STerm::var("ghost");
+        let env: Env<ToyAlg> = Env::new();
+        assert_eq!(
+            eval_sterm(&ToyAlg, &term, &env).unwrap_err(),
+            EvalError::Unbound("ghost".into())
+        );
+    }
+
+    #[test]
+    fn env_rebinding_overwrites() {
+        let mut env: Env<ToyAlg> = Env::new();
+        env.bind_state("s0", 1);
+        env.bind_state("s0", 2);
+        assert_eq!(*env.state("s0").unwrap(), 2);
+    }
+}

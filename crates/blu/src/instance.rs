@@ -1,0 +1,163 @@
+//! **BLU-I**: the instance-level (possible-worlds) semantics
+//! (Definition 2.2.2).
+//!
+//! States are elements of `IDB[D]` — sets of possible worlds — and masks
+//! are simple masks. The operators:
+//!
+//! * `combine (X,Y) ↦ X ∪ Y`
+//! * `assert  (X,Y) ↦ X ∩ Y`
+//! * `complement X ↦ ILDB[D] \ X`
+//! * `mask (X,R) ↦ { y | ∃x ∈ X. R(x,y) }` — saturation under the mask
+//!   congruence
+//! * `genmask X ↦ s-mask[Dep[X]]`
+//!
+//! This implementation *is* the fundamental definition of how BLU
+//! programs behave; **BLU-C** is verified against it.
+
+use pwdb_worlds::{Mask, Schema, WorldSet};
+
+use crate::eval::BluSemantics;
+
+/// The BLU-I algebra over a fixed schema.
+///
+/// `complement` is taken relative to `ILDB[D]` exactly as in Definition
+/// 2.2.2(b)(iii); with an unconstrained schema this is all of `DB[D]`.
+#[derive(Debug, Clone)]
+pub struct BluInstance {
+    n_atoms: usize,
+    universe: WorldSet,
+}
+
+impl BluInstance {
+    /// BLU-I over an unconstrained universe of `n` atoms
+    /// (`ILDB[D] = IDB[D]`).
+    pub fn new(n_atoms: usize) -> Self {
+        BluInstance {
+            n_atoms,
+            universe: WorldSet::full(n_atoms),
+        }
+    }
+
+    /// BLU-I over a schema, complementing relative to its legal worlds.
+    pub fn for_schema(schema: &Schema) -> Self {
+        BluInstance {
+            n_atoms: schema.n_atoms(),
+            universe: schema.legal_worlds(),
+        }
+    }
+
+    /// Number of atoms in the universe.
+    pub fn n_atoms(&self) -> usize {
+        self.n_atoms
+    }
+
+    /// The complementation universe (`ILDB[D]`).
+    pub fn universe(&self) -> &WorldSet {
+        &self.universe
+    }
+}
+
+impl BluSemantics for BluInstance {
+    type State = WorldSet;
+    type Mask = Mask;
+
+    fn op_assert(&self, x: &WorldSet, y: &WorldSet) -> WorldSet {
+        x.intersect(y)
+    }
+
+    fn op_combine(&self, x: &WorldSet, y: &WorldSet) -> WorldSet {
+        x.union(y)
+    }
+
+    fn op_complement(&self, x: &WorldSet) -> WorldSet {
+        x.complement_within(&self.universe)
+    }
+
+    fn op_mask(&self, x: &WorldSet, m: &Mask) -> WorldSet {
+        let atoms: Vec<_> = m.iter().copied().collect();
+        x.saturate_all(&atoms)
+    }
+
+    fn op_genmask(&self, x: &WorldSet) -> Mask {
+        x.dep().into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::{run_program, Value};
+    use crate::parser::parse_program;
+    use pwdb_logic::{parse_wff, AtomId, AtomTable};
+
+    fn mod_of(n: usize, text: &str) -> WorldSet {
+        let mut t = AtomTable::with_indexed_atoms(n);
+        let w = parse_wff(text, &mut t).unwrap();
+        WorldSet::from_wff(n, &w)
+    }
+
+    #[test]
+    fn boolean_ops_are_set_theoretic() {
+        let alg = BluInstance::new(2);
+        let x = mod_of(2, "A1");
+        let y = mod_of(2, "A2");
+        assert_eq!(alg.op_assert(&x, &y), mod_of(2, "A1 & A2"));
+        assert_eq!(alg.op_combine(&x, &y), mod_of(2, "A1 | A2"));
+        assert_eq!(alg.op_complement(&x), mod_of(2, "!A1"));
+    }
+
+    #[test]
+    fn complement_respects_constraints() {
+        let mut schema = Schema::with_atoms(2);
+        schema.add_constraints("{!A1 | A2}").unwrap(); // A1 → A2
+        let alg = BluInstance::for_schema(&schema);
+        let x = mod_of(2, "A1 & A2");
+        let c = alg.op_complement(&x);
+        // Complement contains only legal worlds outside x.
+        assert_eq!(c.len(), 2);
+        assert!(c.is_subset(&schema.legal_worlds()));
+    }
+
+    #[test]
+    fn genmask_is_dep() {
+        let alg = BluInstance::new(3);
+        let x = mod_of(3, "A1 | A2");
+        let m = alg.op_genmask(&x);
+        assert_eq!(m, Mask::from([AtomId(0), AtomId(1)]));
+        assert!(alg.op_genmask(&WorldSet::full(3)).is_empty());
+        assert!(alg.op_genmask(&WorldSet::empty(3)).is_empty());
+    }
+
+    #[test]
+    fn mask_saturates() {
+        let alg = BluInstance::new(2);
+        let x = mod_of(2, "A1 & A2");
+        let m = Mask::from([AtomId(0)]);
+        let masked = alg.op_mask(&x, &m);
+        assert_eq!(masked, mod_of(2, "A2"));
+    }
+
+    #[test]
+    fn hlu_insert_shape_runs_at_instance_level() {
+        // (insert s1) = (assert (mask s0 (genmask s1)) s1): inserting
+        // A1∨A2 into the state Mod[A1 & A2 & A3] forgets A1,A2 then
+        // intersects with Mod[A1∨A2].
+        let alg = BluInstance::new(3);
+        let p = parse_program("(lambda (s0 s1) (assert (mask s0 (genmask s1)) s1))").unwrap();
+        let s0 = mod_of(3, "A1 & A2 & A3");
+        let s1 = mod_of(3, "A1 | A2");
+        let out = run_program(&alg, &p, vec![Value::State(s0), Value::State(s1)]).unwrap();
+        assert_eq!(out, mod_of(3, "(A1 | A2) & A3"));
+    }
+
+    #[test]
+    fn mask_assert_monotonicity() {
+        // assert decreases, mask increases the world set.
+        let alg = BluInstance::new(3);
+        let x = mod_of(3, "A1 -> A2");
+        let y = mod_of(3, "A3");
+        assert!(alg.op_assert(&x, &y).is_subset(&x));
+        let m = Mask::from([AtomId(2)]);
+        assert!(x.is_subset(&alg.op_mask(&x, &m)));
+    }
+}

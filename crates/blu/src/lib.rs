@@ -1,0 +1,48 @@
+//! **BLU** — the Basic Language for Updates (§2 of the paper).
+//!
+//! BLU is a five-primitive applicative language over two sorts, states
+//! (`S`) and masks (`M`):
+//!
+//! ```text
+//! assert     : S × S → S
+//! combine    : S × S → S
+//! complement : S → S
+//! mask       : S × M → S
+//! genmask    : S → M
+//! ```
+//!
+//! A BLU *program* is a lambda form `(lambda (s0 …) ⟨S-term⟩)` whose first
+//! parameter `s0` is the system state (Definition 2.1.2). The language is
+//! given meaning by *implementations* (algebras for the signature,
+//! Definition 2.2.1); this crate provides both of the paper's:
+//!
+//! * [`instance::BluInstance`] — **BLU-I** (Definition 2.2.2), where
+//!   states are sets of possible worlds and the operators are the Boolean
+//!   algebra of `IDB[D]` plus mask saturation and `Dep`;
+//! * [`clausal::BluClausal`] — **BLU-C** (Definition 2.3.2), where states
+//!   are clause sets and the operators are the resolution-based
+//!   Algorithms 2.3.3 (`assert`/`combine`/`complement`),
+//!   2.3.5 (`rclosure`/`drop`/`mask`) and 2.3.8 (`genmask`).
+//!
+//! The canonical *emulation* `e_CI : Φ ↦ Mod[Φ], P ↦ s-mask[P]`
+//! (Definition 2.3.2(b)) is implemented in [`emulation`], together with
+//! exhaustive and randomized checkers for the correctness claims of
+//! Theorems 2.3.4(a), 2.3.6(a) and 2.3.9(a).
+
+pub mod ast;
+pub mod clausal;
+pub mod emulation;
+pub mod eval;
+pub mod instance;
+pub mod optimize;
+pub mod parser;
+
+pub use ast::{MTerm, Param, Program, STerm, Sort};
+pub use clausal::{BluClausal, GenmaskStrategy};
+pub use emulation::{
+    check_exhaustive_small, check_states, clause_state_to_worlds, EmulationReport,
+};
+pub use eval::{eval_mterm, eval_sterm, run_program, BluSemantics, Env, EvalError, Value};
+pub use instance::BluInstance;
+pub use optimize::{OptimizeStats, Optimizer};
+pub use parser::{parse_program, parse_sterm};

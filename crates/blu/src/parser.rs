@@ -1,0 +1,257 @@
+//! S-expression parser for BLU programs and terms (§2.1's Lisp-like list
+//! formalism).
+//!
+//! ```text
+//! program := "(" "lambda" "(" name+ ")" sterm ")"
+//! sterm   := name
+//!          | "(" "assert" sterm sterm ")"
+//!          | "(" "combine" sterm sterm ")"
+//!          | "(" "complement" sterm ")"
+//!          | "(" "mask" sterm mterm ")"
+//! mterm   := name | "(" "genmask" sterm ")"
+//! ```
+//!
+//! Variable names admit dots and primes (`s1.0`), matching the suffixed
+//! names produced by the `where` macro-expansion (Definition 3.2.2).
+
+use pwdb_logic::{LogicError, Result};
+
+use crate::ast::{MTerm, Program, STerm};
+
+struct SexpParser<'a> {
+    input: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> SexpParser<'a> {
+    fn new(input: &'a str) -> Self {
+        SexpParser {
+            input: input.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn err(&self, message: impl Into<String>) -> LogicError {
+        LogicError::Parse {
+            offset: self.pos,
+            message: message.into(),
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.input.len() && self.input[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.input.get(self.pos).copied()
+    }
+
+    fn expect_byte(&mut self, b: u8) -> Result<()> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn name(&mut self) -> Result<String> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.pos < self.input.len() {
+            let b = self.input[self.pos];
+            if b.is_ascii_alphanumeric() || b == b'_' || b == b'.' || b == b'\'' || b == b'-' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if start == self.pos {
+            return Err(self.err("expected a name"));
+        }
+        Ok(std::str::from_utf8(&self.input[start..self.pos])
+            .expect("ascii")
+            .to_owned())
+    }
+
+    fn sterm(&mut self) -> Result<STerm> {
+        match self.peek() {
+            Some(b'(') => {
+                self.pos += 1;
+                let op = self.name()?;
+                let term = match op.as_str() {
+                    "assert" => {
+                        let a = self.sterm()?;
+                        let b = self.sterm()?;
+                        a.assert(b)
+                    }
+                    "combine" => {
+                        let a = self.sterm()?;
+                        let b = self.sterm()?;
+                        a.combine(b)
+                    }
+                    "complement" => self.sterm()?.complement(),
+                    "mask" => {
+                        let a = self.sterm()?;
+                        let m = self.mterm()?;
+                        a.mask(m)
+                    }
+                    other => {
+                        return Err(self.err(format!("unknown state operator '{other}'")));
+                    }
+                };
+                self.expect_byte(b')')?;
+                Ok(term)
+            }
+            Some(_) => Ok(STerm::Var(self.name()?)),
+            None => Err(self.err("unexpected end of input in S-term")),
+        }
+    }
+
+    fn mterm(&mut self) -> Result<MTerm> {
+        match self.peek() {
+            Some(b'(') => {
+                self.pos += 1;
+                let op = self.name()?;
+                if op != "genmask" {
+                    return Err(self.err(format!("unknown mask operator '{op}'")));
+                }
+                let s = self.sterm()?;
+                self.expect_byte(b')')?;
+                Ok(MTerm::Genmask(Box::new(s)))
+            }
+            Some(_) => Ok(MTerm::Var(self.name()?)),
+            None => Err(self.err("unexpected end of input in M-term")),
+        }
+    }
+
+    fn program(&mut self) -> Result<Program> {
+        self.expect_byte(b'(')?;
+        let kw = self.name()?;
+        if kw != "lambda" {
+            return Err(self.err(format!("expected 'lambda', found '{kw}'")));
+        }
+        self.expect_byte(b'(')?;
+        let mut varlist = Vec::new();
+        while self.peek() != Some(b')') {
+            if self.peek().is_none() {
+                return Err(self.err("unterminated varlist"));
+            }
+            varlist.push(self.name()?);
+        }
+        self.pos += 1; // consume ')'
+        let body = self.sterm()?;
+        self.expect_byte(b')')?;
+        Program::new(varlist, body).map_err(|e| self.err(e.to_string()))
+    }
+
+    fn finish(&mut self) -> Result<()> {
+        self.skip_ws();
+        if self.pos == self.input.len() {
+            Ok(())
+        } else {
+            Err(self.err("trailing input"))
+        }
+    }
+}
+
+/// Parses a complete BLU program.
+pub fn parse_program(input: &str) -> Result<Program> {
+    let mut p = SexpParser::new(input);
+    let prog = p.program()?;
+    p.finish()?;
+    Ok(prog)
+}
+
+/// Parses a bare S-term.
+pub fn parse_sterm(input: &str) -> Result<STerm> {
+    let mut p = SexpParser::new(input);
+    let t = p.sterm()?;
+    p.finish()?;
+    Ok(t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::Sort;
+
+    #[test]
+    fn parses_example_2_1_3() {
+        // The paper's insert program (Example 2.1.3 / Definition 3.1.2).
+        let src = "(lambda (s0 s1)
+                     (assert (mask s0 (genmask s1)) s1))";
+        let p = parse_program(src).unwrap();
+        assert_eq!(p.arity(), 2);
+        assert_eq!(
+            p.body().to_string(),
+            "(assert (mask s0 (genmask s1)) s1)"
+        );
+        assert_eq!(p.params()[1].sort, Sort::State);
+    }
+
+    #[test]
+    fn parses_nested_combine() {
+        let src = "(lambda (s0 s1 s2)
+                     (combine
+                       (assert s1 (mask s0 (genmask s1)))
+                       (assert (complement s2) s0)))";
+        let p = parse_program(src).unwrap();
+        assert_eq!(p.arity(), 3);
+    }
+
+    #[test]
+    fn parses_mask_variable_program() {
+        let p = parse_program("(lambda (s0 m0) (mask s0 m0))").unwrap();
+        assert_eq!(p.params()[1].sort, Sort::Mask);
+    }
+
+    #[test]
+    fn parse_display_roundtrip() {
+        let src = "(lambda (s0 s1 s2) (combine (assert s1 (mask s0 (genmask s2))) (complement s0)))";
+        let p = parse_program(src).unwrap();
+        let p2 = parse_program(&p.to_string()).unwrap();
+        assert_eq!(p, p2);
+    }
+
+    #[test]
+    fn dotted_names_allowed() {
+        let p = parse_program("(lambda (s0 s1.0) (assert s0 s1.0))").unwrap();
+        assert_eq!(p.params()[1].name, "s1.0");
+    }
+
+    #[test]
+    fn rejects_unknown_operator() {
+        assert!(parse_program("(lambda (s0) (frobnicate s0))").is_err());
+    }
+
+    #[test]
+    fn rejects_bad_programs() {
+        // Missing s0 in varlist.
+        assert!(parse_program("(lambda (s1) (complement s1))").is_err());
+        // Varlist mismatch.
+        assert!(parse_program("(lambda (s0 s1) (complement s0))").is_err());
+        // Trailing input.
+        assert!(parse_program("(lambda (s0) (complement s0)) extra").is_err());
+        // Unterminated.
+        assert!(parse_program("(lambda (s0) (complement s0)").is_err());
+        assert!(parse_program("(lambda (s0 (complement s0))").is_err());
+    }
+
+    #[test]
+    fn genmask_must_head_mask_position() {
+        // `mask` requires an M-term second argument.
+        assert!(parse_sterm("(mask s0 (genmask s1))").is_ok());
+        assert!(parse_sterm("(mask s0 (assert s1 s2))").is_err());
+        // genmask of a compound S-term is fine.
+        assert!(parse_sterm("(mask s0 (genmask (combine s1 s2)))").is_ok());
+    }
+
+    #[test]
+    fn parse_sterm_bare_var() {
+        assert_eq!(parse_sterm("s0").unwrap(), STerm::var("s0"));
+    }
+}

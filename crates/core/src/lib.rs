@@ -1,0 +1,105 @@
+//! # pwdb — programs for updating incomplete-information databases
+//!
+//! A full reproduction, as a Rust library, of Stephen J. Hegner's PODS
+//! 1987 paper *"Specification and Implementation of Programs for Updating
+//! Incomplete Information Databases"*.
+//!
+//! An incomplete-information database is a set of *possible worlds* —
+//! truth assignments over a finite propositional schema. Updating one is
+//! treated as a programming problem: updates are programs in the
+//! user-level language **HLU**, whose semantics is given entirely by
+//! translation into the five-primitive language **BLU**
+//! (`assert`/`combine`/`complement`/`mask`/`genmask`), which in turn has
+//! two implementations proved (and here *checked*) equivalent: the
+//! possible-worlds instance semantics **BLU-I** and the resolution-based
+//! clausal semantics **BLU-C**.
+//!
+//! ## Crate map
+//!
+//! | re-export | crate | contents |
+//! |-----------|-------|----------|
+//! | [`logic`] | `pwdb-logic` | propositional substrate: wffs, clauses, resolution, DPLL |
+//! | [`worlds`] | `pwdb-worlds` | schemata, world sets, morphisms, updates, masks (§1) |
+//! | [`blu`] | `pwdb-blu` | the BLU language and both semantics (§2) |
+//! | [`hlu`] | `pwdb-hlu` | the HLU language, compiler, and `Database` API (§3) |
+//! | [`wilkins`] | `pwdb-wilkins` | auxiliary-letter baseline (§3.3.1) |
+//! | [`flock`] | `pwdb-flock` | FKUV minimal-change baseline (§3.3.2) |
+//! | [`tables`] | `pwdb-tables` | Imieliński–Lipski V-table baseline (§3.3.3) |
+//! | [`relational`] | `pwdb-relational` | first-order extension: typed nulls, semantic resolution (§5) |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use pwdb::prelude::*;
+//!
+//! // A clausal (BLU-C backed) database over atoms interned on demand.
+//! let mut atoms = AtomTable::new();
+//! let mut db = ClausalDatabase::new();
+//!
+//! // Tell it something disjunctive…
+//! let rain_or_snow = parse_wff("rain | snow", &mut atoms).unwrap();
+//! db.insert(rain_or_snow.clone());
+//! assert!(db.is_certain(&rain_or_snow));
+//!
+//! // …then revise: inserting `!rain` first *masks* everything that
+//! // depends on `rain` (the mask–assert paradigm), so no inconsistency.
+//! let not_rain = parse_wff("!rain", &mut atoms).unwrap();
+//! db.insert(not_rain.clone());
+//! assert!(db.is_consistent());
+//! assert!(db.is_certain(&not_rain));
+//!
+//! // `where` splits the worlds, updates each part, and recombines.
+//! let prog = parse_hlu("(where {snow} (insert {plows}) (delete {plows}))",
+//!                      &mut atoms).unwrap();
+//! db.run(&prog);
+//! let q = parse_wff("snow -> plows", &mut atoms).unwrap();
+//! assert!(db.is_certain(&q));
+//! ```
+
+pub use pwdb_blu as blu;
+pub use pwdb_flock as flock;
+pub use pwdb_hlu as hlu;
+pub use pwdb_logic as logic;
+pub use pwdb_relational as relational;
+pub use pwdb_tables as tables;
+pub use pwdb_wilkins as wilkins;
+pub use pwdb_worlds as worlds;
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use pwdb_blu::{BluClausal, BluInstance, BluSemantics, GenmaskStrategy};
+    pub use pwdb_hlu::{
+        compile, parse_hlu, parse_hlu_script, ClausalDatabase, HluProgram,
+        InstanceDatabase,
+    };
+    pub use pwdb_logic::{
+        parse_clause, parse_clause_set, parse_wff, AtomId, AtomTable, Clause, ClauseSet,
+        Literal, Wff,
+    };
+    pub use pwdb_worlds::{Mask, Schema, World, WorldSet};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn prelude_is_usable() {
+        let mut atoms = AtomTable::new();
+        let w = parse_wff("a & !b", &mut atoms).unwrap();
+        let mut db = ClausalDatabase::new();
+        db.insert(w.clone());
+        assert!(db.is_certain(&w));
+    }
+
+    #[test]
+    fn both_backends_via_prelude() {
+        let mut atoms = AtomTable::with_indexed_atoms(2);
+        let w = parse_wff("A1 -> A2", &mut atoms).unwrap();
+        let mut c = ClausalDatabase::new();
+        let mut i = InstanceDatabase::with_atoms(2);
+        c.insert(w.clone());
+        i.insert(w.clone());
+        assert_eq!(c.is_certain(&w), i.is_certain(&w));
+    }
+}

@@ -1,0 +1,292 @@
+//! The minimal-change ("flock") update baseline (§3.3.2 of the paper;
+//! after Fagin, Kuper, Ullman and Vardi, *Updating Logical Databases*).
+//!
+//! Where the mask–assert paradigm first *forgets* everything the update
+//! formula depends on and then asserts it, the FKUV strategy looks for
+//! **minimal ways to alter the database** so the insertion is consistent:
+//! inserting `α` into a theory `T` keeps every maximal subset of `T`
+//! consistent with `α` and adds `α` to each. Because several maximal
+//! subsets may exist, the result is a *flock* — a set of theories.
+//!
+//! The paper stresses that this minimality is "purely syntactic", so "the
+//! spirit of the approach differs fundamentally" from its semantic one.
+//! Experiment E12 quantifies the divergence: this module provides the
+//! flock engine plus a possible-worlds reading for comparison with the
+//! HLU semantics.
+
+pub mod semantic;
+
+use std::collections::BTreeSet;
+
+use pwdb_logic::{cnf_of, is_satisfiable, Clause, ClauseSet, Wff};
+
+/// A flock: a set of alternative theories, each a clause set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Flock {
+    theories: BTreeSet<ClauseSet>,
+}
+
+impl Flock {
+    /// The flock holding one theory.
+    pub fn singleton(theory: ClauseSet) -> Self {
+        Flock {
+            theories: [theory].into_iter().collect(),
+        }
+    }
+
+    /// The no-information flock: one empty theory.
+    pub fn empty_theory() -> Self {
+        Self::singleton(ClauseSet::new())
+    }
+
+    /// The member theories.
+    pub fn theories(&self) -> impl Iterator<Item = &ClauseSet> {
+        self.theories.iter()
+    }
+
+    /// Number of member theories.
+    pub fn len(&self) -> usize {
+        self.theories.len()
+    }
+
+    /// Whether the flock has no theories (vacuous state).
+    pub fn is_empty(&self) -> bool {
+        self.theories.is_empty()
+    }
+
+    /// FKUV insertion of `α`: for every theory `T`, every maximal subset
+    /// of `T` consistent with `α` survives, with `α` adjoined.
+    ///
+    /// `α` is taken clause-by-clause (its CNF); consistency is decided by
+    /// DPLL. Exponential in the theory size in the worst case — the
+    /// price §3.3.2 hints at for a *semantic* version of minimal change.
+    pub fn insert(&mut self, alpha: &Wff) {
+        let alpha_clauses = cnf_of(alpha);
+        let mut next = BTreeSet::new();
+        for theory in &self.theories {
+            for subset in maximal_consistent_subsets(theory, &alpha_clauses) {
+                let mut merged = subset;
+                for c in alpha_clauses.iter() {
+                    merged.insert(c.clone());
+                }
+                next.insert(merged);
+            }
+        }
+        self.theories = next;
+    }
+
+    /// FKUV deletion of `α`: every maximal subset of each theory that
+    /// does **not** entail `α` survives.
+    pub fn delete(&mut self, alpha: &Wff) {
+        let mut next = BTreeSet::new();
+        for theory in &self.theories {
+            for subset in maximal_nonentailing_subsets(theory, alpha) {
+                next.insert(subset);
+            }
+        }
+        self.theories = next;
+    }
+
+    /// Whether `wff` holds in every model of every theory.
+    pub fn certain(&self, wff: &Wff) -> bool {
+        self.theories
+            .iter()
+            .all(|t| pwdb_logic::entails(t, wff))
+    }
+
+    /// The possible worlds of the flock over `n` atoms: the union of the
+    /// member theories' model sets.
+    pub fn worlds(&self, n_atoms: usize) -> BTreeSet<u64> {
+        let mut out = BTreeSet::new();
+        for t in &self.theories {
+            assert!(t.atom_bound() <= n_atoms);
+            for w in pwdb_logic::Assignment::enumerate(n_atoms) {
+                if t.eval(&w) {
+                    out.insert(w.bits());
+                }
+            }
+        }
+        out
+    }
+}
+
+/// All maximal subsets of `theory` whose union with `context` is
+/// satisfiable. If the theory itself qualifies, it is the only result.
+pub fn maximal_consistent_subsets(theory: &ClauseSet, context: &ClauseSet) -> Vec<ClauseSet> {
+    maximal_subsets_where(theory, |subset| {
+        let mut probe = subset.clone();
+        for c in context.iter() {
+            probe.insert_raw(c.clone());
+        }
+        is_satisfiable(&probe)
+    })
+}
+
+/// All maximal subsets of `theory` that do not entail `alpha`.
+pub fn maximal_nonentailing_subsets(theory: &ClauseSet, alpha: &Wff) -> Vec<ClauseSet> {
+    maximal_subsets_where(theory, |subset| !pwdb_logic::entails(subset, alpha))
+}
+
+/// Enumerates the maximal subsets of `theory` satisfying a monotone-down
+/// predicate (if a set fails, its supersets fail). Exponential search with
+/// early exit on the full set; theories here are small by construction.
+fn maximal_subsets_where(
+    theory: &ClauseSet,
+    pred: impl Fn(&ClauseSet) -> bool,
+) -> Vec<ClauseSet> {
+    let clauses: Vec<Clause> = theory.iter().cloned().collect();
+    let k = clauses.len();
+    assert!(k <= 20, "flock theories must stay small (got {k} clauses)");
+    if pred(theory) {
+        return vec![theory.clone()];
+    }
+    // Enumerate subsets by descending popcount, keeping those that pass
+    // and are not contained in an already-kept subset.
+    let mut masks: Vec<u32> = (0..(1u32 << k)).collect();
+    masks.sort_by_key(|m| std::cmp::Reverse(m.count_ones()));
+    let mut kept_masks: Vec<u32> = Vec::new();
+    let mut out = Vec::new();
+    for m in masks {
+        if kept_masks.iter().any(|&km| km & m == m) {
+            continue; // contained in a kept maximal subset
+        }
+        let subset: ClauseSet = clauses
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| (m >> i) & 1 == 1)
+            .map(|(_, c)| c.clone())
+            .collect();
+        if pred(&subset) {
+            kept_masks.push(m);
+            out.push(subset);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pwdb_logic::{parse_clause_set, parse_wff, AtomTable};
+
+    fn wff(n: usize, text: &str) -> Wff {
+        let mut t = AtomTable::with_indexed_atoms(n);
+        parse_wff(text, &mut t).unwrap()
+    }
+
+    fn theory(n: usize, text: &str) -> ClauseSet {
+        let mut t = AtomTable::with_indexed_atoms(n);
+        parse_clause_set(text, &mut t).unwrap()
+    }
+
+    #[test]
+    fn consistent_insert_keeps_whole_theory() {
+        let mut f = Flock::singleton(theory(2, "{A1}"));
+        f.insert(&wff(2, "A2"));
+        assert_eq!(f.len(), 1);
+        assert!(f.certain(&wff(2, "A1 & A2")));
+    }
+
+    #[test]
+    fn conflicting_insert_minimally_retracts() {
+        // T = {A1, ¬A1 ∨ A2}; insert ¬A2. Maximal consistent subsets:
+        // {A1} and {¬A1 ∨ A2}: the flock splits in two.
+        let mut f = Flock::singleton(theory(2, "{A1, !A1 | A2}"));
+        f.insert(&wff(2, "!A2"));
+        assert_eq!(f.len(), 2);
+        assert!(f.certain(&wff(2, "!A2")));
+        // A1 is only certain in one branch.
+        assert!(!f.certain(&wff(2, "A1")));
+        assert!(!f.certain(&wff(2, "!A1")));
+    }
+
+    #[test]
+    fn delete_removes_entailment_minimally() {
+        let mut f = Flock::singleton(theory(2, "{A1, !A1 | A2}"));
+        f.delete(&wff(2, "A2"));
+        // Each branch drops one clause; neither entails A2 any more.
+        assert_eq!(f.len(), 2);
+        assert!(!f.certain(&wff(2, "A2")));
+    }
+
+    #[test]
+    fn delete_of_nonconsequence_is_noop() {
+        let t = theory(2, "{A1}");
+        let mut f = Flock::singleton(t.clone());
+        f.delete(&wff(2, "A2"));
+        assert_eq!(f.len(), 1);
+        assert_eq!(f.theories().next().unwrap(), &t);
+    }
+
+    #[test]
+    fn syntactic_sensitivity_of_minimal_change() {
+        // {A1, A2} and {A1 ∧ A2 as one clause-pair differently shaped}
+        // behave differently under conflicting insertion — minimality is
+        // syntactic, as §3.3.2 stresses.
+        let mut split = Flock::singleton(theory(2, "{A1, A2}"));
+        split.insert(&wff(2, "!A1 | !A2"));
+        // Retract either A1 or A2: two theories.
+        assert_eq!(split.len(), 2);
+        // Same information as a single equivalent clause set cannot be
+        // expressed with one clause (A1 ∧ A2 is two clauses in CNF), but
+        // an interderivable theory {A1, ¬A1 ∨ A2} gives different
+        // retractions:
+        let mut chained = Flock::singleton(theory(2, "{A1, !A1 | A2}"));
+        chained.insert(&wff(2, "!A1 | !A2"));
+        let split_worlds = split.worlds(2);
+        let chained_worlds = chained.worlds(2);
+        assert_ne!(split_worlds, chained_worlds);
+    }
+
+    #[test]
+    fn insert_of_contradiction_empties_flock() {
+        let mut f = Flock::singleton(theory(1, "{A1}"));
+        f.insert(&wff(1, "A1 & !A1"));
+        assert!(f.is_empty());
+        // Vacuously certain of everything.
+        assert!(f.certain(&wff(1, "0")));
+    }
+
+    #[test]
+    fn worlds_union_over_theories() {
+        let mut f = Flock::singleton(theory(2, "{A1, A2}"));
+        f.insert(&wff(2, "!A1 | !A2"));
+        let worlds = f.worlds(2);
+        // Branch {A1, ¬A1∨¬A2}: worlds with A1 ∧ ¬A2 = {01}; branch
+        // {A2, ¬A1∨¬A2}: {10}.
+        assert_eq!(worlds, BTreeSet::from([0b01, 0b10]));
+    }
+
+    #[test]
+    fn maximal_subsets_basic() {
+        let t = theory(2, "{A1, !A1}");
+        let subs = maximal_consistent_subsets(&t, &ClauseSet::new());
+        assert_eq!(subs.len(), 2);
+        for s in &subs {
+            assert_eq!(s.len(), 1);
+        }
+    }
+
+    #[test]
+    fn maximal_subsets_with_unsat_context() {
+        let t = theory(1, "{A1}");
+        let ctx = ClauseSet::contradiction();
+        assert!(maximal_consistent_subsets(&t, &ctx).is_empty());
+    }
+
+    #[test]
+    fn maximal_subsets_no_duplicates_or_containment() {
+        let t = theory(3, "{A1, A2, !A1 | !A2, A3}");
+        let subs = maximal_consistent_subsets(&t, &ClauseSet::new());
+        for (i, a) in subs.iter().enumerate() {
+            for (j, b) in subs.iter().enumerate() {
+                if i != j {
+                    assert!(
+                        !a.iter().all(|c| b.contains(c)),
+                        "subset {i} contained in {j}"
+                    );
+                }
+            }
+        }
+    }
+}

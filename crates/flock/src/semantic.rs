@@ -1,0 +1,144 @@
+//! Semantic minimal change — the "possible models" reading §3.3.2 hints
+//! at: "it is possible to obtain a semantic version of minimal change, at
+//! the expense of a greatly complicated masking function".
+//!
+//! Where the syntactic flock retracts *clauses*, the semantic version
+//! works world-by-world: updating a set of possible worlds `S` with `α`
+//! sends each `s ∈ S` to the models of `α` whose difference from `s`
+//! (the set of atoms on which they disagree) is ⊆-minimal. This is the
+//! standard possible-models approach (Winslett's PMA); it is
+//! representation-independent — precisely the property the paper's own
+//! semantics demands and the syntactic flock lacks.
+
+use std::collections::BTreeSet;
+
+use pwdb_logic::{Assignment, Wff};
+
+/// The difference set `diff(s, t)`: atoms on which two worlds disagree,
+/// as a bitmask.
+fn diff_mask(s: Assignment, t: Assignment) -> u64 {
+    s.bits() ^ t.bits()
+}
+
+/// The ⊆-minimal-change update of a single world by `α` over `n` atoms:
+/// models `t ⊨ α` such that no other model's difference from `s` is a
+/// proper subset of `diff(s, t)`.
+pub fn update_world(s: Assignment, alpha: &Wff, n_atoms: usize) -> Vec<Assignment> {
+    assert!(alpha.atom_bound() <= n_atoms);
+    let models: Vec<Assignment> = Assignment::enumerate(n_atoms)
+        .filter(|t| alpha.eval(t))
+        .collect();
+    let mut out = Vec::new();
+    'candidates: for &t in &models {
+        let dt = diff_mask(s, t);
+        for &u in &models {
+            let du = diff_mask(s, u);
+            if du != dt && du & dt == du {
+                // du ⊊ dt: t is not minimal.
+                continue 'candidates;
+            }
+        }
+        out.push(t);
+    }
+    out
+}
+
+/// The semantic minimal-change update of a set of worlds: the union of
+/// the per-world updates (each possible world is revised independently).
+pub fn update_worlds(
+    worlds: impl IntoIterator<Item = Assignment>,
+    alpha: &Wff,
+    n_atoms: usize,
+) -> BTreeSet<u64> {
+    let mut out = BTreeSet::new();
+    for s in worlds {
+        for t in update_world(s, alpha, n_atoms) {
+            out.insert(t.bits());
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pwdb_logic::{parse_wff, AtomTable};
+
+    fn wff(n: usize, text: &str) -> Wff {
+        let mut t = AtomTable::with_indexed_atoms(n);
+        parse_wff(text, &mut t).unwrap()
+    }
+
+    fn w(bits: u64, n: usize) -> Assignment {
+        Assignment::from_bits(bits, n)
+    }
+
+    #[test]
+    fn world_already_satisfying_is_fixed() {
+        let alpha = wff(2, "A1");
+        let s = w(0b01, 2);
+        assert_eq!(update_world(s, &alpha, 2), vec![s]);
+    }
+
+    #[test]
+    fn single_flip_beats_double_flip() {
+        // s = 00, α = A1: minimal change flips A1 only.
+        let alpha = wff(2, "A1");
+        let got = update_world(w(0b00, 2), &alpha, 2);
+        assert_eq!(got, vec![w(0b01, 2)]);
+    }
+
+    #[test]
+    fn disjunction_keeps_both_minimal_alternatives() {
+        // s = 00, α = A1 ∨ A2: flipping either atom is minimal; flipping
+        // both is not.
+        let alpha = wff(2, "A1 | A2");
+        let got: BTreeSet<u64> = update_world(w(0b00, 2), &alpha, 2)
+            .into_iter()
+            .map(|a| a.bits())
+            .collect();
+        assert_eq!(got, BTreeSet::from([0b01, 0b10]));
+    }
+
+    #[test]
+    fn semantic_version_is_representation_independent() {
+        // α ≡ A1 written two ways gives the same update — unlike the
+        // syntactic flock (§3.3.2's criticism).
+        let a1 = wff(2, "A1");
+        let a1_redundant = wff(2, "(A1 & A2) | (A1 & !A2)");
+        for bits in 0..4u64 {
+            assert_eq!(
+                update_world(w(bits, 2), &a1, 2),
+                update_world(w(bits, 2), &a1_redundant, 2),
+                "diverged on world {bits:b}"
+            );
+        }
+    }
+
+    #[test]
+    fn set_update_unions_per_world_results() {
+        let alpha = wff(2, "A1 | A2");
+        let worlds = [w(0b00, 2), w(0b11, 2)];
+        let got = update_worlds(worlds, &alpha, 2);
+        // 00 → {01, 10}; 11 → {11}.
+        assert_eq!(got, BTreeSet::from([0b01, 0b10, 0b11]));
+    }
+
+    #[test]
+    fn unsatisfiable_alpha_empties() {
+        let alpha = wff(1, "A1 & !A1");
+        assert!(update_world(w(0, 1), &alpha, 1).is_empty());
+    }
+
+    #[test]
+    fn pma_differs_from_mask_assert() {
+        // The mask–assert insert of A1∨A2 into {00} forgets both atoms
+        // then asserts: three worlds. PMA keeps only the two
+        // minimal-change worlds — semantically different update policies.
+        let alpha = wff(2, "A1 | A2");
+        let pma = update_worlds([w(0b00, 2)], &alpha, 2);
+        assert_eq!(pma.len(), 2);
+        // mask–assert: Inset has 3 members (Discussion 1.4.6).
+        assert_eq!(pwdb_logic::cnf_of(&alpha).len(), 1);
+    }
+}

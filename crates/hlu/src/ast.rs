@@ -1,0 +1,205 @@
+//! The abstract syntax of HLU (introduction + §3.1.1/§3.2.1).
+//!
+//! Update parameters of sort `⟨possible-worlds⟩` are arbitrary wffs;
+//! parameters of sort `⟨masks⟩` are sets of proposition letters.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use pwdb_logic::{AtomId, AtomTable, Wff};
+
+/// An HLU program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HluProgram {
+    /// The identity program `I`.
+    Identity,
+    /// `(assert W)`: intersect the state with `pw(W)` — monotone
+    /// information increase.
+    Assert(Wff),
+    /// `(clear M)` (the `mask` form of the introduction): view the state
+    /// through a simple mask, forgetting the listed letters.
+    Clear(BTreeSet<AtomId>),
+    /// `(insert W)`.
+    Insert(Wff),
+    /// `(delete W)`.
+    Delete(Wff),
+    /// `(modify W V)`.
+    Modify(Wff, Wff),
+    /// `(where W P Q)`; `(where W P)` is encoded with `Q = Identity`.
+    Where(Wff, Box<HluProgram>, Box<HluProgram>),
+}
+
+impl HluProgram {
+    /// `(where W P)` — the one-armed form, equivalent to
+    /// `(where W P I)` (introduction, §0).
+    pub fn where1(condition: Wff, then: HluProgram) -> Self {
+        HluProgram::Where(condition, Box::new(then), Box::new(HluProgram::Identity))
+    }
+
+    /// `(where W P Q)`.
+    pub fn where2(condition: Wff, then: HluProgram, otherwise: HluProgram) -> Self {
+        HluProgram::Where(condition, Box::new(then), Box::new(otherwise))
+    }
+
+    /// Number of nested `where` levels (0 for simple-HLU programs).
+    pub fn where_depth(&self) -> usize {
+        match self {
+            HluProgram::Where(_, p, q) => 1 + p.where_depth().max(q.where_depth()),
+            _ => 0,
+        }
+    }
+
+    /// Whether the program lies in the `simple-HLU` fragment (§3.1).
+    pub fn is_simple(&self) -> bool {
+        !matches!(self, HluProgram::Where(..))
+    }
+
+    /// Renders with a name table.
+    pub fn display<'a>(&'a self, atoms: &'a AtomTable) -> HluDisplay<'a> {
+        HluDisplay {
+            prog: self,
+            atoms: Some(atoms),
+        }
+    }
+}
+
+impl fmt::Display for HluProgram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        HluDisplay {
+            prog: self,
+            atoms: None,
+        }
+        .fmt(f)
+    }
+}
+
+/// Pretty-printer for HLU programs.
+pub struct HluDisplay<'a> {
+    prog: &'a HluProgram,
+    atoms: Option<&'a AtomTable>,
+}
+
+impl HluDisplay<'_> {
+    fn wff(&self, f: &mut fmt::Formatter<'_>, w: &Wff) -> fmt::Result {
+        match self.atoms {
+            Some(t) => write!(f, "{{{}}}", w.display(t)),
+            None => write!(f, "{{{w}}}"),
+        }
+    }
+
+    fn write(&self, f: &mut fmt::Formatter<'_>, p: &HluProgram) -> fmt::Result {
+        match p {
+            HluProgram::Identity => write!(f, "(id)"),
+            HluProgram::Assert(w) => {
+                write!(f, "(assert ")?;
+                self.wff(f, w)?;
+                write!(f, ")")
+            }
+            HluProgram::Clear(mask) => {
+                write!(f, "(clear [")?;
+                for (i, a) in mask.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ")?;
+                    }
+                    match self.atoms.and_then(|t| t.name(*a)) {
+                        Some(name) => write!(f, "{name}")?,
+                        None => write!(f, "{a}")?,
+                    }
+                }
+                write!(f, "])")
+            }
+            HluProgram::Insert(w) => {
+                write!(f, "(insert ")?;
+                self.wff(f, w)?;
+                write!(f, ")")
+            }
+            HluProgram::Delete(w) => {
+                write!(f, "(delete ")?;
+                self.wff(f, w)?;
+                write!(f, ")")
+            }
+            HluProgram::Modify(w, v) => {
+                write!(f, "(modify ")?;
+                self.wff(f, w)?;
+                write!(f, " ")?;
+                self.wff(f, v)?;
+                write!(f, ")")
+            }
+            HluProgram::Where(w, p1, p2) => {
+                write!(f, "(where ")?;
+                self.wff(f, w)?;
+                write!(f, " ")?;
+                self.write(f, p1)?;
+                if **p2 != HluProgram::Identity {
+                    write!(f, " ")?;
+                    self.write(f, p2)?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+impl fmt::Display for HluDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.write(f, self.prog)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a(i: u32) -> Wff {
+        Wff::atom(i)
+    }
+
+    #[test]
+    fn where_constructors() {
+        let p = HluProgram::where1(a(4), HluProgram::Insert(a(0).or(a(1))));
+        assert_eq!(p.where_depth(), 1);
+        assert!(!p.is_simple());
+        match &p {
+            HluProgram::Where(_, _, q) => assert_eq!(**q, HluProgram::Identity),
+            _ => panic!("expected where"),
+        }
+    }
+
+    #[test]
+    fn nested_where_depth() {
+        let inner = HluProgram::where1(a(0), HluProgram::Identity);
+        let p = HluProgram::where2(a(1), inner, HluProgram::Delete(a(2)));
+        assert_eq!(p.where_depth(), 2);
+    }
+
+    #[test]
+    fn simple_fragment_detection() {
+        assert!(HluProgram::Insert(a(0)).is_simple());
+        assert!(HluProgram::Identity.is_simple());
+        assert!(!HluProgram::where1(a(0), HluProgram::Identity).is_simple());
+    }
+
+    #[test]
+    fn display_round() {
+        let p = HluProgram::where2(
+            a(4),
+            HluProgram::Insert(a(0).or(a(1))),
+            HluProgram::Delete(a(2)),
+        );
+        assert_eq!(
+            p.to_string(),
+            "(where {A5} (insert {A1 | A2}) (delete {A3}))"
+        );
+        let single = HluProgram::where1(a(4), HluProgram::Assert(a(0)));
+        assert_eq!(single.to_string(), "(where {A5} (assert {A1}))");
+    }
+
+    #[test]
+    fn display_clear_with_names() {
+        let mut t = AtomTable::new();
+        let rain = t.intern("rain");
+        let p = HluProgram::Clear([rain].into_iter().collect());
+        assert_eq!(p.display(&t).to_string(), "(clear [rain])");
+        assert_eq!(p.to_string(), "(clear [A1])");
+    }
+}

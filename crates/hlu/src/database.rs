@@ -1,0 +1,611 @@
+//! A stateful database façade over HLU.
+//!
+//! [`Database`] holds a current state in some BLU implementation and runs
+//! HLU programs against it. Two backends are provided:
+//!
+//! * [`ClausalDatabase`] — state is a clause set, operators are the
+//!   resolution algorithms of **BLU-C** (the practicable representation);
+//! * [`InstanceDatabase`] — state is an explicit set of possible worlds
+//!   (**BLU-I**), the semantic reference.
+//!
+//! Queries follow the standard incomplete-information readings: a wff is
+//! *certain* if it holds in every possible world and *possible* if it
+//! holds in some. Integrity constraints, when enabled, are enforced the
+//! way §1.3.3's discussion prescribes for incomplete databases: after an
+//! update, illegal worlds are eliminated (clausally: the constraints are
+//! asserted).
+
+use std::collections::BTreeSet;
+
+use pwdb_blu::{run_program, BluClausal, BluInstance, BluSemantics, Value};
+use pwdb_logic::{cnf_of, AtomId, ClauseSet, Wff};
+use pwdb_worlds::{Schema, WorldSet};
+
+use crate::ast::HluProgram;
+use crate::compile::{compile, ArgValue};
+
+/// A BLU implementation that can additionally lower HLU's
+/// representation-free arguments into its own domains and answer queries.
+pub trait HluBackend: BluSemantics {
+    /// Lowers a wff parameter to a state.
+    fn lower_state(&self, wff: &Wff) -> Self::State;
+    /// Lowers a letter-set parameter to a mask.
+    fn lower_mask(&self, atoms: &BTreeSet<AtomId>) -> Self::Mask;
+    /// The no-information initial state (all legal worlds possible).
+    fn top(&self) -> Self::State;
+    /// Whether `wff` holds in every possible world of `state`.
+    fn certain(&self, state: &Self::State, wff: &Wff) -> bool;
+    /// Whether the state has at least one possible world.
+    fn consistent(&self, state: &Self::State) -> bool;
+    /// Number of possible worlds of the state over a universe of
+    /// `n_atoms` atoms.
+    fn world_count(&self, state: &Self::State, n_atoms: usize) -> u64;
+}
+
+impl HluBackend for BluClausal {
+    fn lower_state(&self, wff: &Wff) -> ClauseSet {
+        cnf_of(wff)
+    }
+
+    fn lower_mask(&self, atoms: &BTreeSet<AtomId>) -> BTreeSet<AtomId> {
+        atoms.clone()
+    }
+
+    fn top(&self) -> ClauseSet {
+        ClauseSet::new()
+    }
+
+    fn certain(&self, state: &ClauseSet, wff: &Wff) -> bool {
+        pwdb_logic::entails(state, wff)
+    }
+
+    fn consistent(&self, state: &ClauseSet) -> bool {
+        pwdb_logic::is_satisfiable(state)
+    }
+
+    fn world_count(&self, state: &ClauseSet, n_atoms: usize) -> u64 {
+        pwdb_logic::count_models(state, n_atoms)
+    }
+}
+
+impl HluBackend for BluInstance {
+    fn lower_state(&self, wff: &Wff) -> WorldSet {
+        WorldSet::from_wff(self.n_atoms(), wff)
+    }
+
+    fn lower_mask(&self, atoms: &BTreeSet<AtomId>) -> BTreeSet<AtomId> {
+        atoms.clone()
+    }
+
+    fn top(&self) -> WorldSet {
+        self.universe().clone()
+    }
+
+    fn certain(&self, state: &WorldSet, wff: &Wff) -> bool {
+        state.iter().all(|w| wff.eval(&w))
+    }
+
+    fn consistent(&self, state: &WorldSet) -> bool {
+        !state.is_empty()
+    }
+
+    fn world_count(&self, state: &WorldSet, n_atoms: usize) -> u64 {
+        assert_eq!(n_atoms, state.n_atoms(), "universe mismatch");
+        state.len() as u64
+    }
+}
+
+/// An incomplete-information database driven by HLU programs.
+#[derive(Debug, Clone)]
+pub struct Database<B: HluBackend> {
+    backend: B,
+    state: B::State,
+    constraints: Option<Wff>,
+    updates_run: usize,
+}
+
+/// The clausal-backend database (the paper's practicable implementation).
+pub type ClausalDatabase = Database<BluClausal>;
+/// The possible-worlds-backend database (the semantic reference).
+pub type InstanceDatabase = Database<BluInstance>;
+
+impl ClausalDatabase {
+    /// A clausal database with no information and no constraints,
+    /// running the paper-exact algorithms.
+    pub fn new() -> Self {
+        Database::with_backend(BluClausal::new())
+    }
+
+    /// A clausal database whose operators apply subsumption reduction —
+    /// the "correctness-preserving optimizations" of §4. Same semantics
+    /// (emulation checked), smaller states after `where`-style combines.
+    pub fn new_reduced() -> Self {
+        Database::with_backend(BluClausal::new().with_reduction(true))
+    }
+}
+
+impl ClausalDatabase {
+    /// Rewrites the state into its prime-implicate canonical form
+    /// (Tison): semantically equal states normalize to the *same* clause
+    /// set, and every clause is a strongest consequence — the fully
+    /// "cleaned up" knowledge base of the §3.3.1 discussion. Worst-case
+    /// exponential, like every canonicalization of this kind.
+    pub fn normalize(&mut self) {
+        let canonical = pwdb_logic::prime_implicates(self.state());
+        self.set_state(canonical);
+    }
+}
+
+impl Default for ClausalDatabase {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl InstanceDatabase {
+    /// An instance database over `n` atoms with no information.
+    pub fn with_atoms(n: usize) -> Self {
+        Database::with_backend(BluInstance::new(n))
+    }
+
+    /// An instance database over a schema; the initial state is
+    /// `LDB[D]` and complementation is relative to it.
+    pub fn for_schema(schema: &Schema) -> Self {
+        Database::with_backend(BluInstance::for_schema(schema))
+    }
+}
+
+impl<B: HluBackend> Database<B> {
+    /// Builds over an explicit backend, starting at the no-information
+    /// state.
+    pub fn with_backend(backend: B) -> Self {
+        let state = backend.top();
+        Database {
+            backend,
+            state,
+            constraints: None,
+            updates_run: 0,
+        }
+    }
+
+    /// Installs integrity constraints enforced after every update.
+    pub fn with_constraints(mut self, constraints: Wff) -> Self {
+        self.state = self
+            .backend
+            .op_assert(&self.state, &self.backend.lower_state(&constraints));
+        self.constraints = Some(constraints);
+        self
+    }
+
+    /// The backend algebra.
+    pub fn backend(&self) -> &B {
+        &self.backend
+    }
+
+    /// The current state.
+    pub fn state(&self) -> &B::State {
+        &self.state
+    }
+
+    /// Replaces the state wholesale (e.g. to seed a benchmark).
+    pub fn set_state(&mut self, state: B::State) {
+        self.state = state;
+    }
+
+    /// Number of HLU programs run so far.
+    pub fn updates_run(&self) -> usize {
+        self.updates_run
+    }
+
+    /// Runs one HLU program against the current state.
+    pub fn run(&mut self, prog: &HluProgram) {
+        let compiled = compile(prog);
+        let mut args: Vec<Value<B::State, B::Mask>> =
+            Vec::with_capacity(compiled.args.len() + 1);
+        args.push(Value::State(self.state.clone()));
+        for a in &compiled.args {
+            args.push(match a {
+                ArgValue::State(w) => Value::State(self.backend.lower_state(w)),
+                ArgValue::Mask(m) => Value::Mask(self.backend.lower_mask(m)),
+            });
+        }
+        let mut next = run_program(&self.backend, &compiled.program, args)
+            .expect("compiled programs bind all parameters");
+        if let Some(con) = &self.constraints {
+            next = self
+                .backend
+                .op_assert(&next, &self.backend.lower_state(con));
+        }
+        self.state = next;
+        self.updates_run += 1;
+    }
+
+    /// Convenience: `(assert W)`.
+    pub fn assert_wff(&mut self, wff: Wff) {
+        self.run(&HluProgram::Assert(wff));
+    }
+
+    /// Convenience: `(insert W)`.
+    pub fn insert(&mut self, wff: Wff) {
+        self.run(&HluProgram::Insert(wff));
+    }
+
+    /// Convenience: `(delete W)`.
+    pub fn delete(&mut self, wff: Wff) {
+        self.run(&HluProgram::Delete(wff));
+    }
+
+    /// Convenience: `(modify W V)`.
+    pub fn modify(&mut self, from: Wff, to: Wff) {
+        self.run(&HluProgram::Modify(from, to));
+    }
+
+    /// Convenience: `(clear M)`.
+    pub fn clear(&mut self, atoms: impl IntoIterator<Item = AtomId>) {
+        self.run(&HluProgram::Clear(atoms.into_iter().collect()));
+    }
+
+    /// Whether `wff` holds in every possible world.
+    pub fn is_certain(&self, wff: &Wff) -> bool {
+        self.backend.certain(&self.state, wff)
+    }
+
+    /// Whether `wff` holds in at least one possible world.
+    pub fn is_possible(&self, wff: &Wff) -> bool {
+        !self.backend.certain(&self.state, &wff.clone().not())
+            && self.backend.consistent(&self.state)
+    }
+
+    /// Whether any possible world remains.
+    pub fn is_consistent(&self) -> bool {
+        self.backend.consistent(&self.state)
+    }
+
+    /// The number of possible worlds over a universe of `n_atoms` atoms —
+    /// the "amount of incompleteness" left in the database. Exact #SAT on
+    /// the clausal backend; a popcount on the instance backend.
+    pub fn world_count(&self, n_atoms: usize) -> u64 {
+        self.backend.world_count(&self.state, n_atoms)
+    }
+
+    /// Runs a program with the *rejection* handling of §1.3.3: "the
+    /// updated database is computed, and then checked for compliance with
+    /// the integrity constraints. If those constraints are not satisfied,
+    /// the update is rejected." In the incomplete-information reading, an
+    /// update whose result has **no** possible world left is rejected and
+    /// the state restored.
+    pub fn run_rejecting(&mut self, prog: &HluProgram) -> Result<(), UpdateRejected> {
+        let saved = self.state.clone();
+        self.run(prog);
+        if self.backend.consistent(&self.state) {
+            Ok(())
+        } else {
+            self.state = saved;
+            self.updates_run -= 1;
+            Err(UpdateRejected)
+        }
+    }
+
+    /// A savepoint capturing the current state (states are values; this
+    /// is a cheap clone of the representation).
+    pub fn savepoint(&self) -> Savepoint<B::State> {
+        Savepoint {
+            state: self.state.clone(),
+            updates_run: self.updates_run,
+        }
+    }
+
+    /// Restores a previously taken savepoint.
+    pub fn rollback_to(&mut self, savepoint: Savepoint<B::State>) {
+        self.state = savepoint.state;
+        self.updates_run = savepoint.updates_run;
+    }
+
+    /// Runs a closure transactionally: if it returns `false` (or the
+    /// resulting state is inconsistent), every update it performed is
+    /// rolled back. Returns whether the transaction committed.
+    pub fn transaction(&mut self, body: impl FnOnce(&mut Self) -> bool) -> bool {
+        let saved = self.savepoint();
+        let keep = body(self) && self.backend.consistent(&self.state);
+        if !keep {
+            self.rollback_to(saved);
+        }
+        keep
+    }
+}
+
+/// Marker for an update rejected by the §1.3.3 consistency check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UpdateRejected;
+
+impl std::fmt::Display for UpdateRejected {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "update rejected: no possible world satisfies the constraints"
+        )
+    }
+}
+
+impl std::error::Error for UpdateRejected {}
+
+/// A captured database state for [`Database::rollback_to`].
+#[derive(Debug, Clone)]
+pub struct Savepoint<S> {
+    state: S,
+    updates_run: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pwdb_logic::{parse_wff, AtomTable};
+
+    fn wff(n: usize, text: &str) -> Wff {
+        let mut t = AtomTable::with_indexed_atoms(n);
+        parse_wff(text, &mut t).unwrap()
+    }
+
+    #[test]
+    fn clausal_insert_then_query() {
+        let mut db = ClausalDatabase::new();
+        db.insert(wff(2, "A1 | A2"));
+        assert!(db.is_certain(&wff(2, "A1 | A2")));
+        assert!(!db.is_certain(&wff(2, "A1")));
+        assert!(db.is_possible(&wff(2, "A1")));
+        assert!(db.is_consistent());
+    }
+
+    #[test]
+    fn instance_matches_clausal_on_script() {
+        let script = [
+            HluProgram::Insert(wff(3, "A1 | A2")),
+            HluProgram::Assert(wff(3, "A3")),
+            HluProgram::Delete(wff(3, "A2")),
+            HluProgram::where1(wff(3, "A3"), HluProgram::Insert(wff(3, "A1"))),
+        ];
+        let mut cdb = ClausalDatabase::new();
+        let mut idb = InstanceDatabase::with_atoms(3);
+        for p in &script {
+            cdb.run(p);
+            idb.run(p);
+        }
+        // The possible worlds must agree.
+        let from_clauses = WorldSet::from_clauses(3, cdb.state());
+        assert_eq!(&from_clauses, idb.state());
+        for q in ["A1", "A2", "A3", "A1 & A3", "A1 | !A2"] {
+            let q = wff(3, q);
+            assert_eq!(cdb.is_certain(&q), idb.is_certain(&q), "query {q}");
+        }
+    }
+
+    #[test]
+    fn insert_overwrites_prior_knowledge_of_dependent_atoms() {
+        // The mask–assert paradigm: inserting ¬A1 after A1 must not be
+        // inconsistent — the mask first forgets A1.
+        let mut db = ClausalDatabase::new();
+        db.insert(wff(1, "A1"));
+        assert!(db.is_certain(&wff(1, "A1")));
+        db.insert(wff(1, "!A1"));
+        assert!(db.is_consistent());
+        assert!(db.is_certain(&wff(1, "!A1")));
+    }
+
+    #[test]
+    fn assert_can_create_inconsistency() {
+        // assert is raw intersection: no masking, so contradiction empties
+        // the world set.
+        let mut db = InstanceDatabase::with_atoms(1);
+        db.assert_wff(wff(1, "A1"));
+        db.assert_wff(wff(1, "!A1"));
+        assert!(!db.is_consistent());
+        assert!(!db.is_possible(&wff(1, "A1")));
+    }
+
+    #[test]
+    fn delete_makes_formula_false() {
+        let mut db = ClausalDatabase::new();
+        db.insert(wff(2, "A1 & A2"));
+        db.delete(wff(2, "A1"));
+        assert!(db.is_certain(&wff(2, "!A1")));
+        // A2 is untouched by the delete of A1.
+        assert!(db.is_certain(&wff(2, "A2")));
+    }
+
+    #[test]
+    fn clear_forgets() {
+        let mut db = ClausalDatabase::new();
+        db.insert(wff(2, "A1 & A2"));
+        db.clear([AtomId(0)]);
+        assert!(!db.is_certain(&wff(2, "A1")));
+        assert!(db.is_possible(&wff(2, "A1")));
+        assert!(db.is_certain(&wff(2, "A2")));
+    }
+
+    #[test]
+    fn modify_moves_conditionally() {
+        let mut db = InstanceDatabase::with_atoms(2);
+        db.insert(wff(2, "A1"));
+        db.delete(wff(2, "A2"));
+        db.modify(wff(2, "A1"), wff(2, "A2"));
+        assert!(db.is_certain(&wff(2, "!A1 & A2")));
+    }
+
+    #[test]
+    fn modify_when_condition_unknown_splits() {
+        let mut db = InstanceDatabase::with_atoms(2);
+        db.delete(wff(2, "A2"));
+        // A1 unknown: modify must leave both alternatives.
+        db.modify(wff(2, "A1"), wff(2, "A2"));
+        assert!(db.is_possible(&wff(2, "A2")));
+        assert!(db.is_possible(&wff(2, "!A2 & !A1")));
+        // In every world where A2 ended up true, A1 is now false.
+        assert!(db.is_certain(&wff(2, "A2 -> !A1")));
+    }
+
+    #[test]
+    fn where_splits_and_combines() {
+        // Example 3.2.5's program shape: (where {A5} (insert {A1 ∨ A2})).
+        let mut db = InstanceDatabase::with_atoms(3);
+        db.run(&HluProgram::where1(
+            wff(3, "A3"),
+            HluProgram::Insert(wff(3, "A1 | A2")),
+        ));
+        // Worlds with A3 got the insertion; worlds without A3 kept
+        // everything.
+        assert!(db.is_certain(&wff(3, "A3 -> (A1 | A2)")));
+        assert!(db.is_possible(&wff(3, "!A3 & !A1 & !A2")));
+    }
+
+    #[test]
+    fn constraints_enforced_after_updates() {
+        let mut db = InstanceDatabase::with_atoms(2).with_constraints(wff(2, "A1 -> A2"));
+        db.insert(wff(2, "A1"));
+        assert!(db.is_certain(&wff(2, "A2")));
+        assert_eq!(db.updates_run(), 1);
+    }
+
+    #[test]
+    fn inconsistent_state_has_nothing_possible() {
+        let mut db = ClausalDatabase::new();
+        db.assert_wff(wff(1, "A1"));
+        db.assert_wff(wff(1, "!A1"));
+        assert!(!db.is_consistent());
+        assert!(!db.is_possible(&wff(1, "A1 | !A1")));
+        // But everything is (vacuously) certain.
+        assert!(db.is_certain(&wff(1, "A1 & !A1")));
+    }
+
+    #[test]
+    fn world_count_matches_across_backends() {
+        let script = [
+            HluProgram::Insert(wff(3, "A1 | A2")),
+            HluProgram::Delete(wff(3, "A3")),
+            HluProgram::where1(wff(3, "A1"), HluProgram::Insert(wff(3, "A3"))),
+        ];
+        let mut cdb = ClausalDatabase::new();
+        let mut idb = InstanceDatabase::with_atoms(3);
+        for p in &script {
+            cdb.run(p);
+            idb.run(p);
+            assert_eq!(cdb.world_count(3), idb.world_count(3));
+        }
+        assert!(cdb.world_count(3) > 0);
+    }
+
+    #[test]
+    fn reduced_backend_agrees_and_shrinks() {
+        let script = [
+            HluProgram::Insert(wff(3, "A1 | A2")),
+            HluProgram::where1(wff(3, "A3"), HluProgram::Insert(wff(3, "A1"))),
+            HluProgram::Delete(wff(3, "A2")),
+        ];
+        let mut plain = ClausalDatabase::new();
+        let mut reduced = ClausalDatabase::new_reduced();
+        for p in &script {
+            plain.run(p);
+            reduced.run(p);
+            assert_eq!(
+                WorldSet::from_clauses(3, plain.state()),
+                WorldSet::from_clauses(3, reduced.state())
+            );
+        }
+        assert!(reduced.state().len() <= plain.state().len());
+    }
+
+    #[test]
+    fn world_count_of_fresh_database_is_full() {
+        let db = ClausalDatabase::new();
+        assert_eq!(db.world_count(5), 32);
+        let idb = InstanceDatabase::with_atoms(4);
+        assert_eq!(idb.world_count(4), 16);
+    }
+
+    #[test]
+    fn run_rejecting_restores_on_inconsistency() {
+        let mut db = InstanceDatabase::with_atoms(2).with_constraints(wff(2, "A1 -> A2"));
+        db.insert(wff(2, "A1"));
+        let before = db.state().clone();
+        let n = db.updates_run();
+        // assert ¬A2 contradicts A1→A2 ∧ A1: every world dies → rejected.
+        let err = db
+            .run_rejecting(&HluProgram::Assert(wff(2, "!A2")))
+            .unwrap_err();
+        assert_eq!(err, UpdateRejected);
+        assert_eq!(db.state(), &before);
+        assert_eq!(db.updates_run(), n);
+        // A compatible update goes through.
+        db.run_rejecting(&HluProgram::Assert(wff(2, "A2"))).unwrap();
+    }
+
+    #[test]
+    fn savepoint_rollback() {
+        let mut db = ClausalDatabase::new();
+        db.insert(wff(2, "A1"));
+        let sp = db.savepoint();
+        db.insert(wff(2, "!A1"));
+        assert!(db.is_certain(&wff(2, "!A1")));
+        db.rollback_to(sp);
+        assert!(db.is_certain(&wff(2, "A1")));
+        assert_eq!(db.updates_run(), 1);
+    }
+
+    #[test]
+    fn transaction_commits_and_aborts() {
+        let mut db = ClausalDatabase::new();
+        let committed = db.transaction(|tx| {
+            tx.insert(wff(2, "A1"));
+            tx.insert(wff(2, "A2"));
+            true
+        });
+        assert!(committed);
+        assert!(db.is_certain(&wff(2, "A1 & A2")));
+
+        let aborted = db.transaction(|tx| {
+            tx.delete(wff(2, "A1"));
+            false // caller decides to abort
+        });
+        assert!(!aborted);
+        assert!(db.is_certain(&wff(2, "A1")));
+
+        // A transaction ending inconsistent rolls back automatically.
+        let auto_abort = db.transaction(|tx| {
+            tx.assert_wff(wff(2, "!A1"));
+            true
+        });
+        assert!(!auto_abort);
+        assert!(db.is_consistent());
+        assert!(db.is_certain(&wff(2, "A1")));
+    }
+
+    #[test]
+    fn normalize_canonicalizes_equivalent_states() {
+        // Two different scripts reaching the same possible worlds
+        // normalize to identical clause sets.
+        let mut a = ClausalDatabase::new();
+        a.insert(wff(3, "A1 | A2"));
+        a.assert_wff(wff(3, "!A2 | A1"));
+        let mut b = ClausalDatabase::new();
+        b.insert(wff(3, "A1"));
+        assert_ne!(a.state(), b.state());
+        assert_eq!(
+            WorldSet::from_clauses(3, a.state()),
+            WorldSet::from_clauses(3, b.state())
+        );
+        a.normalize();
+        b.normalize();
+        assert_eq!(a.state(), b.state());
+        // Normalization preserves the worlds.
+        assert_eq!(
+            WorldSet::from_clauses(3, a.state()),
+            WorldSet::from_wff(3, &wff(3, "A1"))
+        );
+    }
+
+    #[test]
+    fn set_state_replaces() {
+        let mut db = ClausalDatabase::new();
+        db.set_state(pwdb_logic::ClauseSet::contradiction());
+        assert!(!db.is_consistent());
+    }
+}

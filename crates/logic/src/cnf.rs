@@ -1,0 +1,201 @@
+//! Conversion between wffs and clause sets.
+//!
+//! The clausal implementation **BLU-C** works on sets of clauses, while
+//! user-facing update parameters arrive as arbitrary wffs; `cnf_of` bridges
+//! the two. The conversion is the classical *equivalence-preserving* one
+//! (negation normal form, then distribution). We deliberately do **not**
+//! use a Tseitin-style transformation: introducing fresh proposition
+//! letters would change `Prop[D]` and thereby the semantics of `Dep`,
+//! masks, and `genmask` — exactly the pitfall the paper attributes to
+//! Wilkins' representation-dependent treatment (§1.4.7, §3.3.1).
+
+use crate::clause::Clause;
+use crate::clause_set::ClauseSet;
+use crate::literal::Literal;
+use crate::wff::Wff;
+
+/// Negation-normal-form helper: atoms/constants with explicit polarity at
+/// the leaves, `∧`/`∨` internally.
+enum Nnf {
+    Lit(Literal),
+    True,
+    False,
+    And(Vec<Nnf>),
+    Or(Vec<Nnf>),
+}
+
+fn to_nnf(w: &Wff, positive: bool) -> Nnf {
+    match (w, positive) {
+        (Wff::True, true) | (Wff::False, false) => Nnf::True,
+        (Wff::True, false) | (Wff::False, true) => Nnf::False,
+        (Wff::Atom(a), _) => Nnf::Lit(Literal::new(*a, positive)),
+        (Wff::Not(inner), _) => to_nnf(inner, !positive),
+        (Wff::And(l, r), true) | (Wff::Or(l, r), false) => {
+            Nnf::And(vec![to_nnf(l, positive), to_nnf(r, positive)])
+        }
+        (Wff::And(l, r), false) | (Wff::Or(l, r), true) => {
+            Nnf::Or(vec![to_nnf(l, positive), to_nnf(r, positive)])
+        }
+        (Wff::Implies(l, r), true) => Nnf::Or(vec![to_nnf(l, false), to_nnf(r, true)]),
+        (Wff::Implies(l, r), false) => Nnf::And(vec![to_nnf(l, true), to_nnf(r, false)]),
+        (Wff::Iff(l, r), true) => Nnf::And(vec![
+            Nnf::Or(vec![to_nnf(l, false), to_nnf(r, true)]),
+            Nnf::Or(vec![to_nnf(l, true), to_nnf(r, false)]),
+        ]),
+        (Wff::Iff(l, r), false) => Nnf::And(vec![
+            Nnf::Or(vec![to_nnf(l, true), to_nnf(r, true)]),
+            Nnf::Or(vec![to_nnf(l, false), to_nnf(r, false)]),
+        ]),
+    }
+}
+
+/// CNF of an NNF node as a list of clauses (conjunctively read).
+/// `None` in a position never occurs; a constant-true conjunct is the empty
+/// list and a constant-false conjunct is `[□]`.
+fn nnf_to_clauses(n: &Nnf) -> Vec<Clause> {
+    match n {
+        Nnf::Lit(l) => vec![Clause::unit(*l)],
+        Nnf::True => vec![],
+        Nnf::False => vec![Clause::empty()],
+        Nnf::And(parts) => parts.iter().flat_map(nnf_to_clauses).collect(),
+        Nnf::Or(parts) => {
+            // CNF(p ∨ q) = pairwise disjunction of CNF(p) and CNF(q):
+            // the same cross-product the paper uses for `combine` (2.3.3).
+            let mut acc: Vec<Clause> = vec![Clause::empty()];
+            for part in parts {
+                let rhs = nnf_to_clauses(part);
+                // A constant-true disjunct makes the whole disjunction true.
+                if rhs.is_empty() {
+                    return vec![];
+                }
+                let mut next = Vec::with_capacity(acc.len() * rhs.len());
+                for a in &acc {
+                    for b in &rhs {
+                        next.push(a.disjoin(b));
+                    }
+                }
+                acc = next;
+            }
+            acc
+        }
+    }
+}
+
+/// Converts a wff to an equivalent clause set over the *same* atoms.
+///
+/// Tautological clauses are dropped and subsumed clauses reduced, so e.g.
+/// `cnf_of(A ∨ ¬A)` is the empty clause set (equivalent to `1`), matching
+/// the paper's semantic treatment of `insert[{A1 ∨ ¬A1}]` as the identity
+/// (Remark 1.4.7).
+pub fn cnf_of(w: &Wff) -> ClauseSet {
+    let nnf = to_nnf(w, true);
+    let mut set = ClauseSet::from_clauses(nnf_to_clauses(&nnf));
+    set.reduce_subsumed();
+    set
+}
+
+/// Reads a clause set back as a wff (a conjunction of disjunctions).
+pub fn clauses_to_wff(set: &ClauseSet) -> Wff {
+    Wff::conj(
+        set.iter()
+            .map(|c| Wff::disj(c.literals().iter().map(|&l| Wff::literal(l)))),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atom::{AtomId, AtomTable};
+    use crate::parser::parse_wff;
+    use crate::truth::Assignment;
+
+    fn equiv_by_truth_table(w: &Wff, s: &ClauseSet, n: usize) -> bool {
+        Assignment::enumerate(n).all(|a| w.eval(&a) == s.eval(&a))
+    }
+
+    fn check(input: &str) {
+        let mut t = AtomTable::new();
+        let w = parse_wff(input, &mut t).unwrap();
+        let s = cnf_of(&w);
+        let n = w.atom_bound().max(s.atom_bound());
+        assert!(
+            equiv_by_truth_table(&w, &s, n),
+            "cnf not equivalent for {input}: {s}"
+        );
+    }
+
+    #[test]
+    fn cnf_preserves_semantics() {
+        for input in [
+            "A1",
+            "!A1",
+            "A1 & A2",
+            "A1 | A2",
+            "A1 -> A2",
+            "A1 <-> A2",
+            "!(A1 <-> A2)",
+            "(A1 | A2) & (!A1 | A3)",
+            "!(A1 & (A2 | !A3)) -> (A4 <-> A1)",
+            "1",
+            "0",
+            "A1 | !A1",
+            "A1 & !A1",
+            "((A1 -> A2) -> A3) -> A4",
+            "!(!(!A1))",
+        ] {
+            check(input);
+        }
+    }
+
+    #[test]
+    fn tautology_becomes_empty_set() {
+        let mut t = AtomTable::new();
+        let w = parse_wff("A1 | !A1", &mut t).unwrap();
+        assert!(cnf_of(&w).is_empty());
+    }
+
+    #[test]
+    fn contradiction_is_unsatisfiable() {
+        let mut t = AtomTable::new();
+        let w = parse_wff("A1 & !A1", &mut t).unwrap();
+        let s = cnf_of(&w);
+        assert!(!crate::dpll::is_satisfiable(&s));
+        // The constant 0 does produce the empty clause syntactically.
+        assert!(cnf_of(&Wff::False).has_empty_clause());
+    }
+
+    #[test]
+    fn disjunction_of_conjunctions_distributes() {
+        let mut t = AtomTable::new();
+        let w = parse_wff("(A1 & A2) | (A3 & A4)", &mut t).unwrap();
+        let s = cnf_of(&w);
+        assert_eq!(s.len(), 4);
+        assert!(equiv_by_truth_table(&w, &s, 4));
+    }
+
+    #[test]
+    fn subsumption_reduction_applies() {
+        let mut t = AtomTable::new();
+        // (A1) & (A1 | A2) — the second clause is subsumed.
+        let w = parse_wff("A1 & (A1 | A2)", &mut t).unwrap();
+        let s = cnf_of(&w);
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn clauses_to_wff_roundtrip() {
+        let mut t = AtomTable::new();
+        let w = parse_wff("(A1 | A2) & (!A2 | A3)", &mut t).unwrap();
+        let s = cnf_of(&w);
+        let back = clauses_to_wff(&s);
+        assert!(equiv_by_truth_table(&back, &s, 3));
+    }
+
+    #[test]
+    fn no_new_atoms_introduced() {
+        let mut t = AtomTable::new();
+        let w = parse_wff("!(A1 <-> (A2 -> A3))", &mut t).unwrap();
+        let s = cnf_of(&w);
+        assert!(s.props().iter().all(|a| *a <= AtomId(2)));
+    }
+}

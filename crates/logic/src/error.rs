@@ -1,0 +1,89 @@
+//! Error types shared by the logic substrate.
+
+use std::fmt;
+
+/// Errors produced while parsing or manipulating formulas and clauses.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LogicError {
+    /// The parser encountered an unexpected token or end of input.
+    Parse {
+        /// Byte offset in the input where the error was detected.
+        offset: usize,
+        /// Human-readable description of what went wrong.
+        message: String,
+    },
+    /// An atom name was not found in the [`crate::AtomTable`].
+    UnknownAtom(String),
+    /// An operation required more atoms than the representation supports
+    /// (assignments are packed into a `u64`, so at most 64 atoms).
+    TooManyAtoms {
+        /// Number of atoms requested.
+        requested: usize,
+        /// Maximum supported by the operation.
+        max: usize,
+    },
+    /// A set of literals was required to be consistent but contained a
+    /// complementary pair.
+    InconsistentLiterals,
+}
+
+impl fmt::Display for LogicError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LogicError::Parse { offset, message } => {
+                write!(f, "parse error at byte {offset}: {message}")
+            }
+            LogicError::UnknownAtom(name) => write!(f, "unknown atom: {name}"),
+            LogicError::TooManyAtoms { requested, max } => {
+                write!(f, "too many atoms: {requested} requested, max {max}")
+            }
+            LogicError::InconsistentLiterals => {
+                write!(f, "literal set contains a complementary pair")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LogicError {}
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, LogicError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_parse() {
+        let e = LogicError::Parse {
+            offset: 3,
+            message: "expected ')'".into(),
+        };
+        assert_eq!(e.to_string(), "parse error at byte 3: expected ')'");
+    }
+
+    #[test]
+    fn display_unknown_atom() {
+        assert_eq!(
+            LogicError::UnknownAtom("B9".into()).to_string(),
+            "unknown atom: B9"
+        );
+    }
+
+    #[test]
+    fn display_too_many() {
+        let e = LogicError::TooManyAtoms {
+            requested: 100,
+            max: 64,
+        };
+        assert_eq!(e.to_string(), "too many atoms: 100 requested, max 64");
+    }
+
+    #[test]
+    fn display_inconsistent() {
+        assert_eq!(
+            LogicError::InconsistentLiterals.to_string(),
+            "literal set contains a complementary pair"
+        );
+    }
+}

@@ -1,0 +1,177 @@
+//! Literals: signed atoms, packed into a single `u32`.
+//!
+//! `Lit[L]` in the paper. The packing (`atom << 1 | sign`) gives literals a
+//! total order in which the two literals of an atom are adjacent and atoms
+//! appear in index order, which keeps clause operations cache-friendly.
+
+use std::fmt;
+
+use crate::atom::{AtomId, AtomTable};
+
+/// A literal: an atom or its negation.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Literal(u32);
+
+impl Literal {
+    /// The positive literal of `atom`.
+    #[inline]
+    pub fn pos(atom: AtomId) -> Self {
+        Literal(atom.0 << 1)
+    }
+
+    /// The negative literal of `atom`.
+    #[inline]
+    pub fn neg(atom: AtomId) -> Self {
+        Literal((atom.0 << 1) | 1)
+    }
+
+    /// Builds a literal from an atom and a polarity.
+    #[inline]
+    pub fn new(atom: AtomId, positive: bool) -> Self {
+        if positive {
+            Self::pos(atom)
+        } else {
+            Self::neg(atom)
+        }
+    }
+
+    /// The underlying atom.
+    #[inline]
+    pub fn atom(self) -> AtomId {
+        AtomId(self.0 >> 1)
+    }
+
+    /// `true` for `A`, `false` for `¬A`.
+    #[inline]
+    pub fn is_positive(self) -> bool {
+        self.0 & 1 == 0
+    }
+
+    /// The complementary literal (`A ↔ ¬A`).
+    #[inline]
+    pub fn negated(self) -> Self {
+        Literal(self.0 ^ 1)
+    }
+
+    /// Raw packed code; stable for use as a dense index.
+    #[inline]
+    pub fn code(self) -> u32 {
+        self.0
+    }
+
+    /// Inverse of [`Literal::code`].
+    #[inline]
+    pub fn from_code(code: u32) -> Self {
+        Literal(code)
+    }
+
+    /// Renders with the given name table (falls back to `A{i+1}`).
+    pub fn display<'a>(&self, atoms: &'a AtomTable) -> LiteralDisplay<'a> {
+        LiteralDisplay {
+            lit: *self,
+            atoms: Some(atoms),
+        }
+    }
+}
+
+impl fmt::Debug for Literal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl fmt::Display for Literal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        LiteralDisplay {
+            lit: *self,
+            atoms: None,
+        }
+        .fmt(f)
+    }
+}
+
+/// Helper returned by [`Literal::display`].
+pub struct LiteralDisplay<'a> {
+    lit: Literal,
+    atoms: Option<&'a AtomTable>,
+}
+
+impl fmt::Display for LiteralDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if !self.lit.is_positive() {
+            write!(f, "!")?;
+        }
+        let atom = self.lit.atom();
+        match self.atoms.and_then(|t| t.name(atom)) {
+            Some(name) => write!(f, "{name}"),
+            None => write!(f, "{atom}"),
+        }
+    }
+}
+
+/// Returns `true` iff `lits` contains no complementary pair.
+///
+/// This is the paper's consistency condition on sets of literals (§1.3.4,
+/// §1.4.4); the input need not be sorted.
+pub fn literals_consistent(lits: &[Literal]) -> bool {
+    let mut sorted: Vec<Literal> = lits.to_vec();
+    sorted.sort_unstable();
+    sorted.windows(2).all(|w| w[0].negated() != w[1])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_roundtrip() {
+        let a = AtomId(7);
+        let p = Literal::pos(a);
+        let n = Literal::neg(a);
+        assert_eq!(p.atom(), a);
+        assert_eq!(n.atom(), a);
+        assert!(p.is_positive());
+        assert!(!n.is_positive());
+        assert_eq!(p.negated(), n);
+        assert_eq!(n.negated(), p);
+        assert_eq!(Literal::from_code(p.code()), p);
+    }
+
+    #[test]
+    fn ordering_groups_by_atom() {
+        let a0p = Literal::pos(AtomId(0));
+        let a0n = Literal::neg(AtomId(0));
+        let a1p = Literal::pos(AtomId(1));
+        assert!(a0p < a0n);
+        assert!(a0n < a1p);
+    }
+
+    #[test]
+    fn new_matches_pos_neg() {
+        let a = AtomId(3);
+        assert_eq!(Literal::new(a, true), Literal::pos(a));
+        assert_eq!(Literal::new(a, false), Literal::neg(a));
+    }
+
+    #[test]
+    fn display_plain_and_named() {
+        let mut t = AtomTable::new();
+        let x = t.intern("rain");
+        assert_eq!(Literal::pos(x).to_string(), "A1");
+        assert_eq!(Literal::neg(x).to_string(), "!A1");
+        assert_eq!(Literal::neg(x).display(&t).to_string(), "!rain");
+    }
+
+    #[test]
+    fn consistency_check() {
+        let a = AtomId(0);
+        let b = AtomId(1);
+        assert!(literals_consistent(&[Literal::pos(a), Literal::neg(b)]));
+        assert!(!literals_consistent(&[
+            Literal::pos(a),
+            Literal::neg(b),
+            Literal::neg(a)
+        ]));
+        assert!(literals_consistent(&[]));
+    }
+}

@@ -1,0 +1,172 @@
+//! The semantic operators of §1.1: `Mod`, `Sat`, `Th`, `Dep`.
+//!
+//! These are defined by brute-force truth-table enumeration over a stated
+//! atom universe, and serve as the *ground truth* against which the
+//! resolution-based algorithms of BLU-C are verified (Theorems 2.3.4,
+//! 2.3.6, 2.3.9 are checked by comparing against these definitions).
+//! The possible-worlds crate re-exposes the same operators over its bitset
+//! representation for larger universes.
+
+use std::collections::BTreeSet;
+
+use crate::atom::AtomId;
+use crate::clause_set::ClauseSet;
+use crate::truth::Assignment;
+use crate::wff::Wff;
+
+/// `Mod[Φ]`: all structures over `n` atoms satisfying the clause set.
+pub fn models(set: &ClauseSet, n: usize) -> Vec<Assignment> {
+    assert!(
+        n >= set.atom_bound(),
+        "universe of {n} atoms smaller than clause-set bound {}",
+        set.atom_bound()
+    );
+    Assignment::enumerate(n).filter(|a| set.eval(a)).collect()
+}
+
+/// `Mod[{φ}]` for a single wff.
+pub fn wff_models(wff: &Wff, n: usize) -> Vec<Assignment> {
+    assert!(n >= wff.atom_bound());
+    Assignment::enumerate(n).filter(|a| wff.eval(a)).collect()
+}
+
+/// `Sat[S]`-membership: whether `wff` is satisfied by every structure in
+/// `worlds` (i.e. `wff ∈ Sat[S]`). The full set `Sat[S]` is infinite, so
+/// it is exposed as a membership test.
+pub fn sat(worlds: &[Assignment], wff: &Wff) -> bool {
+    worlds.iter().all(|s| wff.eval(s))
+}
+
+/// `Th[Φ]`-membership: whether `Φ ⊨ {φ}` by truth table over `n` atoms.
+pub fn theory_contains(set: &ClauseSet, wff: &Wff, n: usize) -> bool {
+    assert!(n >= set.atom_bound().max(wff.atom_bound()));
+    Assignment::enumerate(n).all(|a| !set.eval(&a) || wff.eval(&a))
+}
+
+/// `Dep[S]` (§1.1): the dependency set of a set of structures.
+///
+/// The paper defines it as the proposition letters occurring in *every*
+/// axiomatization `Φ` with `Mod[Φ] = S`. Semantically, `A ∈ Dep[S]` iff
+/// `S` is not closed under flipping the value of `A` — if it were closed,
+/// an axiomatization avoiding `A` exists (mask `A` out), and conversely.
+pub fn dep(worlds: &[Assignment], n: usize) -> BTreeSet<AtomId> {
+    let world_set: BTreeSet<u64> = worlds.iter().map(|a| a.bits()).collect();
+    let mut out = BTreeSet::new();
+    for i in 0..n {
+        let atom = AtomId(i as u32);
+        let closed = worlds
+            .iter()
+            .all(|a| world_set.contains(&a.flip(atom).bits()));
+        if !closed {
+            out.insert(atom);
+        }
+    }
+    out
+}
+
+/// `Dep[Mod[Φ]]` for a clause set over `n` atoms — the semantic
+/// specification of `genmask` (Definition 2.2.2(b)(v)).
+pub fn dep_of_clauses(set: &ClauseSet, n: usize) -> BTreeSet<AtomId> {
+    dep(&models(set, n), n)
+}
+
+/// `Dep[Mod[{φ}]]` for a wff — the atoms an insertion of `φ` masks
+/// (Theorem 1.5.4).
+pub fn dep_of_wff(wff: &Wff, n: usize) -> BTreeSet<AtomId> {
+    dep(&wff_models(wff, n), n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atom::AtomTable;
+    use crate::parser::{parse_clause_set, parse_wff};
+
+    #[test]
+    fn models_of_unit_clause() {
+        let mut t = AtomTable::with_indexed_atoms(2);
+        let s = parse_clause_set("{A1}", &mut t).unwrap();
+        let m = models(&s, 2);
+        assert_eq!(m.len(), 2);
+        assert!(m.iter().all(|a| a.get(AtomId(0))));
+    }
+
+    #[test]
+    fn models_of_empty_set_is_everything() {
+        let m = models(&ClauseSet::new(), 3);
+        assert_eq!(m.len(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "universe")]
+    fn models_panics_on_small_universe() {
+        let mut t = AtomTable::with_indexed_atoms(3);
+        let s = parse_clause_set("{A3}", &mut t).unwrap();
+        let _ = models(&s, 2);
+    }
+
+    #[test]
+    fn sat_membership() {
+        let mut t = AtomTable::with_indexed_atoms(2);
+        let s = parse_clause_set("{A1}", &mut t).unwrap();
+        let worlds = models(&s, 2);
+        let w1 = parse_wff("A1 | A2", &mut t).unwrap();
+        let w2 = parse_wff("A2", &mut t).unwrap();
+        assert!(sat(&worlds, &w1));
+        assert!(!sat(&worlds, &w2));
+    }
+
+    #[test]
+    fn theory_contains_consequences() {
+        let mut t = AtomTable::with_indexed_atoms(3);
+        let s = parse_clause_set("{A1, !A1 | A2}", &mut t).unwrap();
+        let w = parse_wff("A2", &mut t).unwrap();
+        assert!(theory_contains(&s, &w, 3));
+        let w3 = parse_wff("A3", &mut t).unwrap();
+        assert!(!theory_contains(&s, &w3, 3));
+    }
+
+    #[test]
+    fn dep_of_disjunction_is_both_atoms() {
+        // The running example: Dep[Mod[{A1 ∨ A2}]] = {A1, A2} (§1.4.6).
+        let mut t = AtomTable::with_indexed_atoms(3);
+        let w = parse_wff("A1 | A2", &mut t).unwrap();
+        let d = dep_of_wff(&w, 3);
+        assert_eq!(d, BTreeSet::from([AtomId(0), AtomId(1)]));
+    }
+
+    #[test]
+    fn dep_of_tautology_is_empty() {
+        // Remark 1.4.7: A1 ∨ ¬A1 depends on nothing.
+        let mut t = AtomTable::with_indexed_atoms(2);
+        let w = parse_wff("A1 | !A1", &mut t).unwrap();
+        assert!(dep_of_wff(&w, 2).is_empty());
+    }
+
+    #[test]
+    fn dep_sees_through_syntax() {
+        // (A1 & A2) | (A1 & !A2) mentions A2 but depends only on A1.
+        let mut t = AtomTable::with_indexed_atoms(2);
+        let w = parse_wff("(A1 & A2) | (A1 & !A2)", &mut t).unwrap();
+        assert_eq!(dep_of_wff(&w, 2), BTreeSet::from([AtomId(0)]));
+    }
+
+    #[test]
+    fn dep_of_empty_world_set_is_empty() {
+        assert!(dep(&[], 3).is_empty());
+    }
+
+    #[test]
+    fn dep_of_full_world_set_is_empty() {
+        let all: Vec<Assignment> = Assignment::enumerate(3).collect();
+        assert!(dep(&all, 3).is_empty());
+    }
+
+    #[test]
+    fn dep_of_clauses_matches_wff_path() {
+        let mut t = AtomTable::with_indexed_atoms(4);
+        let s = parse_clause_set("{A1 | A2, !A2 | A3}", &mut t).unwrap();
+        let w = parse_wff("(A1 | A2) & (!A2 | A3)", &mut t).unwrap();
+        assert_eq!(dep_of_clauses(&s, 4), dep_of_wff(&w, 4));
+    }
+}

@@ -1,0 +1,100 @@
+//! Subsumption utilities beyond the member functions on
+//! [`Clause`]/[`ClauseSet`].
+//!
+//! Subsumption is the workhorse normalization of the optimized BLU-C
+//! operators: it is model-preserving, cheap relative to the operations it
+//! shrinks, and keeps the clause-level states close to canonical so that
+//! emulation checks against the instance level stay tractable.
+
+use crate::clause::Clause;
+use crate::clause_set::ClauseSet;
+
+/// Returns `true` iff some member of `set` subsumes `clause`.
+pub fn is_subsumed_by(set: &ClauseSet, clause: &Clause) -> bool {
+    set.iter().any(|c| c.subsumes(clause))
+}
+
+/// Inserts `clause` into `set` applying forward and backward subsumption:
+/// the clause is skipped if subsumed by a member, and members it subsumes
+/// are removed. Tautologies are skipped. Returns whether `set` changed.
+pub fn insert_with_subsumption(set: &mut ClauseSet, clause: Clause) -> bool {
+    if clause.is_tautology() || is_subsumed_by(set, &clause) {
+        return false;
+    }
+    let doomed: Vec<Clause> = set
+        .iter()
+        .filter(|c| clause.subsumes(c))
+        .cloned()
+        .collect();
+    for c in &doomed {
+        set.remove(c);
+    }
+    set.insert(clause)
+}
+
+/// Merges `other` into `set` with subsumption, returning the number of
+/// clauses actually added.
+pub fn merge_with_subsumption(set: &mut ClauseSet, other: &ClauseSet) -> usize {
+    let mut added = 0;
+    for c in other.iter() {
+        if insert_with_subsumption(set, c.clone()) {
+            added += 1;
+        }
+    }
+    added
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atom::AtomTable;
+    use crate::parser::{parse_clause, parse_clause_set};
+
+    #[test]
+    fn skips_subsumed_insert() {
+        let mut t = AtomTable::with_indexed_atoms(4);
+        let mut s = parse_clause_set("{A1}", &mut t).unwrap();
+        let weaker = parse_clause("A1 | A2", &mut t).unwrap();
+        assert!(!insert_with_subsumption(&mut s, weaker));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn removes_subsumed_members() {
+        let mut t = AtomTable::with_indexed_atoms(4);
+        let mut s = parse_clause_set("{A1 | A2, A1 | A3}", &mut t).unwrap();
+        let stronger = parse_clause("A1", &mut t).unwrap();
+        assert!(insert_with_subsumption(&mut s, stronger.clone()));
+        assert_eq!(s.len(), 1);
+        assert!(s.contains(&stronger));
+    }
+
+    #[test]
+    fn skips_tautologies() {
+        let mut t = AtomTable::with_indexed_atoms(2);
+        let mut s = ClauseSet::new();
+        let taut = parse_clause("A1 | !A1", &mut t).unwrap();
+        assert!(!insert_with_subsumption(&mut s, taut));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn merge_counts_added() {
+        let mut t = AtomTable::with_indexed_atoms(4);
+        let mut s = parse_clause_set("{A1}", &mut t).unwrap();
+        let other = parse_clause_set("{A1 | A2, A3, A4 | !A3}", &mut t).unwrap();
+        let added = merge_with_subsumption(&mut s, &other);
+        assert_eq!(added, 2);
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn is_subsumed_by_checks_all_members() {
+        let mut t = AtomTable::with_indexed_atoms(4);
+        let s = parse_clause_set("{A1 | A2, A3}", &mut t).unwrap();
+        let c = parse_clause("A1 | A2 | A4", &mut t).unwrap();
+        assert!(is_subsumed_by(&s, &c));
+        let d = parse_clause("A1 | A4", &mut t).unwrap();
+        assert!(!is_subsumed_by(&s, &d));
+    }
+}

@@ -1,0 +1,336 @@
+//! Well-formed formulas (`WF[L]`, §1.1).
+//!
+//! The connective set is exactly the paper's nonlogical symbol set
+//! `C = {∧, ∨, ¬, ⇒, ⇔, (, )}` plus the constants `0` and `1`, which the
+//! paper uses freely (e.g. in Definition 1.3.3 insertions map atoms to
+//! `1`/`0`).
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use crate::atom::{AtomId, AtomTable};
+use crate::literal::Literal;
+use crate::truth::Assignment;
+
+/// The AST of a well-formed formula.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Wff {
+    /// The constant false, written `0` in the paper.
+    False,
+    /// The constant true, written `1` in the paper.
+    True,
+    /// A proposition letter `A_i`.
+    Atom(AtomId),
+    /// Negation `¬φ`.
+    Not(Box<Wff>),
+    /// Conjunction `φ ∧ ψ`.
+    And(Box<Wff>, Box<Wff>),
+    /// Disjunction `φ ∨ ψ`.
+    Or(Box<Wff>, Box<Wff>),
+    /// Implication `φ ⇒ ψ`.
+    Implies(Box<Wff>, Box<Wff>),
+    /// Biconditional `φ ⇔ ψ`.
+    Iff(Box<Wff>, Box<Wff>),
+}
+
+impl Wff {
+    /// Shorthand for an atom formula.
+    pub fn atom(id: impl Into<AtomId>) -> Self {
+        Wff::Atom(id.into())
+    }
+
+    /// Shorthand for a literal as a formula.
+    pub fn literal(lit: Literal) -> Self {
+        if lit.is_positive() {
+            Wff::Atom(lit.atom())
+        } else {
+            Wff::Not(Box::new(Wff::Atom(lit.atom())))
+        }
+    }
+
+    /// `¬self`.
+    #[allow(clippy::should_implement_trait)] // builder-style alongside and/or/implies
+    pub fn not(self) -> Self {
+        Wff::Not(Box::new(self))
+    }
+
+    /// `self ∧ rhs`.
+    pub fn and(self, rhs: Wff) -> Self {
+        Wff::And(Box::new(self), Box::new(rhs))
+    }
+
+    /// `self ∨ rhs`.
+    pub fn or(self, rhs: Wff) -> Self {
+        Wff::Or(Box::new(self), Box::new(rhs))
+    }
+
+    /// `self ⇒ rhs`.
+    pub fn implies(self, rhs: Wff) -> Self {
+        Wff::Implies(Box::new(self), Box::new(rhs))
+    }
+
+    /// `self ⇔ rhs`.
+    pub fn iff(self, rhs: Wff) -> Self {
+        Wff::Iff(Box::new(self), Box::new(rhs))
+    }
+
+    /// Conjunction of an iterator of formulas (`1` if empty).
+    pub fn conj(items: impl IntoIterator<Item = Wff>) -> Self {
+        let mut it = items.into_iter();
+        match it.next() {
+            None => Wff::True,
+            Some(first) => it.fold(first, |acc, w| acc.and(w)),
+        }
+    }
+
+    /// Disjunction of an iterator of formulas (`0` if empty).
+    pub fn disj(items: impl IntoIterator<Item = Wff>) -> Self {
+        let mut it = items.into_iter();
+        match it.next() {
+            None => Wff::False,
+            Some(first) => it.fold(first, |acc, w| acc.or(w)),
+        }
+    }
+
+    /// Evaluates under a structure, the natural extension `s̄` of §1.1.
+    pub fn eval(&self, s: &Assignment) -> bool {
+        match self {
+            Wff::False => false,
+            Wff::True => true,
+            Wff::Atom(a) => s.get(*a),
+            Wff::Not(w) => !w.eval(s),
+            Wff::And(l, r) => l.eval(s) && r.eval(s),
+            Wff::Or(l, r) => l.eval(s) || r.eval(s),
+            Wff::Implies(l, r) => !l.eval(s) || r.eval(s),
+            Wff::Iff(l, r) => l.eval(s) == r.eval(s),
+        }
+    }
+
+    /// Collects the proposition letters occurring in the formula — the
+    /// paper's `Prop[{φ}]` (syntactic occurrence, not semantic dependence).
+    pub fn props(&self) -> BTreeSet<AtomId> {
+        let mut out = BTreeSet::new();
+        self.collect_props(&mut out);
+        out
+    }
+
+    fn collect_props(&self, out: &mut BTreeSet<AtomId>) {
+        match self {
+            Wff::False | Wff::True => {}
+            Wff::Atom(a) => {
+                out.insert(*a);
+            }
+            Wff::Not(w) => w.collect_props(out),
+            Wff::And(l, r) | Wff::Or(l, r) | Wff::Implies(l, r) | Wff::Iff(l, r) => {
+                l.collect_props(out);
+                r.collect_props(out);
+            }
+        }
+    }
+
+    /// Largest atom index occurring, plus one (0 for closed formulas).
+    /// Useful for sizing truth-table enumerations.
+    pub fn atom_bound(&self) -> usize {
+        self.props().iter().next_back().map_or(0, |a| a.index() + 1)
+    }
+
+    /// Substitutes `subst(A_i)` for each occurrence of `A_i`.
+    ///
+    /// This is the natural extension `f̄ : WF[D2] → WF[D1]` of a database
+    /// morphism `f` (Definition 1.3.1).
+    pub fn substitute(&self, subst: &dyn Fn(AtomId) -> Wff) -> Wff {
+        match self {
+            Wff::False => Wff::False,
+            Wff::True => Wff::True,
+            Wff::Atom(a) => subst(*a),
+            Wff::Not(w) => w.substitute(subst).not(),
+            Wff::And(l, r) => l.substitute(subst).and(r.substitute(subst)),
+            Wff::Or(l, r) => l.substitute(subst).or(r.substitute(subst)),
+            Wff::Implies(l, r) => l.substitute(subst).implies(r.substitute(subst)),
+            Wff::Iff(l, r) => l.substitute(subst).iff(r.substitute(subst)),
+        }
+    }
+
+    /// Structural size (number of AST nodes); used by benchmarks.
+    pub fn size(&self) -> usize {
+        match self {
+            Wff::False | Wff::True | Wff::Atom(_) => 1,
+            Wff::Not(w) => 1 + w.size(),
+            Wff::And(l, r) | Wff::Or(l, r) | Wff::Implies(l, r) | Wff::Iff(l, r) => {
+                1 + l.size() + r.size()
+            }
+        }
+    }
+
+    /// Renders with a name table.
+    pub fn display<'a>(&'a self, atoms: &'a AtomTable) -> WffDisplay<'a> {
+        WffDisplay {
+            wff: self,
+            atoms: Some(atoms),
+        }
+    }
+}
+
+impl fmt::Display for Wff {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        WffDisplay {
+            wff: self,
+            atoms: None,
+        }
+        .fmt(f)
+    }
+}
+
+/// Pretty-printer; parenthesizes by precedence (`!` > `&` > `|` > `->` >
+/// `<->`), matching the parser in [`crate::parser`].
+pub struct WffDisplay<'a> {
+    wff: &'a Wff,
+    atoms: Option<&'a AtomTable>,
+}
+
+impl WffDisplay<'_> {
+    fn prec(w: &Wff) -> u8 {
+        match w {
+            Wff::False | Wff::True | Wff::Atom(_) | Wff::Not(_) => 4,
+            Wff::And(..) => 3,
+            Wff::Or(..) => 2,
+            Wff::Implies(..) => 1,
+            Wff::Iff(..) => 0,
+        }
+    }
+
+    fn write(&self, f: &mut fmt::Formatter<'_>, w: &Wff, min_prec: u8) -> fmt::Result {
+        let prec = Self::prec(w);
+        let paren = prec < min_prec;
+        if paren {
+            write!(f, "(")?;
+        }
+        match w {
+            Wff::False => write!(f, "0")?,
+            Wff::True => write!(f, "1")?,
+            Wff::Atom(a) => match self.atoms.and_then(|t| t.name(*a)) {
+                Some(name) => write!(f, "{name}")?,
+                None => write!(f, "{a}")?,
+            },
+            Wff::Not(inner) => {
+                write!(f, "!")?;
+                self.write(f, inner, 4)?;
+            }
+            Wff::And(l, r) => {
+                self.write(f, l, 3)?;
+                write!(f, " & ")?;
+                self.write(f, r, 4)?;
+            }
+            Wff::Or(l, r) => {
+                self.write(f, l, 2)?;
+                write!(f, " | ")?;
+                self.write(f, r, 3)?;
+            }
+            Wff::Implies(l, r) => {
+                self.write(f, l, 2)?;
+                write!(f, " -> ")?;
+                self.write(f, r, 1)?;
+            }
+            Wff::Iff(l, r) => {
+                self.write(f, l, 1)?;
+                write!(f, " <-> ")?;
+                self.write(f, r, 0)?;
+            }
+        }
+        if paren {
+            write!(f, ")")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for WffDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.write(f, self.wff, 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a(i: u32) -> Wff {
+        Wff::atom(i)
+    }
+
+    #[test]
+    fn eval_connectives() {
+        // Assignment with A1=1, A2=0 (bit 0 set, bit 1 clear).
+        let s = Assignment::from_bits(0b01, 2);
+        assert!(a(0).eval(&s));
+        assert!(!a(1).eval(&s));
+        assert!(a(1).not().eval(&s));
+        assert!(!a(0).and(a(1)).eval(&s));
+        assert!(a(0).or(a(1)).eval(&s));
+        assert!(a(1).implies(a(0)).eval(&s));
+        assert!(!a(0).implies(a(1)).eval(&s));
+        assert!(!a(0).iff(a(1)).eval(&s));
+        assert!(a(1).iff(a(1)).eval(&s));
+        assert!(Wff::True.eval(&s));
+        assert!(!Wff::False.eval(&s));
+    }
+
+    #[test]
+    fn props_collects_all_letters() {
+        let w = a(0).and(a(2)).or(a(2).implies(a(5)));
+        let props: Vec<u32> = w.props().into_iter().map(|p| p.0).collect();
+        assert_eq!(props, vec![0, 2, 5]);
+        assert_eq!(w.atom_bound(), 6);
+    }
+
+    #[test]
+    fn conj_disj_unit_cases() {
+        assert_eq!(Wff::conj(std::iter::empty()), Wff::True);
+        assert_eq!(Wff::disj(std::iter::empty()), Wff::False);
+        assert_eq!(Wff::conj([a(1)]), a(1));
+        assert_eq!(Wff::disj([a(1)]), a(1));
+    }
+
+    #[test]
+    fn literal_formula() {
+        let l = Literal::neg(AtomId(4));
+        assert_eq!(Wff::literal(l), a(4).not());
+        assert_eq!(Wff::literal(l.negated()), a(4));
+    }
+
+    #[test]
+    fn substitute_performs_morphism_extension() {
+        // f(A1) = 1, f(A2) = A2  (paper's insert[A1], Def. 1.3.3(a))
+        let w = a(0).and(a(1));
+        let out = w.substitute(&|atom| {
+            if atom == AtomId(0) {
+                Wff::True
+            } else {
+                Wff::Atom(atom)
+            }
+        });
+        assert_eq!(out, Wff::True.and(a(1)));
+    }
+
+    #[test]
+    fn display_respects_precedence() {
+        let w = a(0).or(a(1)).and(a(2));
+        assert_eq!(w.to_string(), "(A1 | A2) & A3");
+        let w2 = a(0).or(a(1).and(a(2)));
+        assert_eq!(w2.to_string(), "A1 | A2 & A3");
+        let w3 = a(0).implies(a(1)).not();
+        assert_eq!(w3.to_string(), "!(A1 -> A2)");
+    }
+
+    #[test]
+    fn display_right_assoc_needs_parens_on_left() {
+        let w = a(0).implies(a(1)).implies(a(2));
+        assert_eq!(w.to_string(), "(A1 -> A2) -> A3");
+    }
+
+    #[test]
+    fn size_counts_nodes() {
+        assert_eq!(a(0).size(), 1);
+        assert_eq!(a(0).and(a(1)).not().size(), 4);
+    }
+}

@@ -1,0 +1,264 @@
+//! The constant dictionary (§5.2).
+//!
+//! Two kinds of constant symbols:
+//!
+//! * **external** symbols — uniquely named, user-visible; their dictionary
+//!   entry records the smallest type containing them;
+//! * **internal** symbols — nulls, not uniquely named, activated on
+//!   demand; each carries a *Boolean category expression*: an underlying
+//!   type `ty(u)`, inclusion exceptions `ie(u)` and exclusion exceptions
+//!   `ee(u)`, with the semantics "the actual value of `u` is either of
+//!   type `ty(u)` or a member of `ie(u)`, but is not a member of
+//!   `ee(u)`". Exception lists may themselves contain internal symbols.
+//!
+//! The *modified closed world assumption* (each internal symbol equals
+//! some external symbol) makes every symbol's **denotation** a set of
+//! external constants, computed here as a bitmask. For internal symbols
+//! in exception lists the denotation is used set-wise: an internal symbol
+//! in `ie` contributes its whole denotation as possible values, and one
+//! in `ee` excludes only the values it *must* take (i.e. excludes its
+//! denotation only when that denotation is a singleton — a safe, sound
+//! approximation used by McSkimin–Minker-style systems).
+
+use crate::types::{TypeAlgebra, TypeExpr};
+
+/// Reference to a constant symbol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum SymRef {
+    /// An external constant (index into the type algebra).
+    External(u32),
+    /// An internal (null) symbol, by activation index.
+    Internal(u32),
+}
+
+/// The Boolean category expression attached to an internal symbol.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CategoryExpr {
+    /// The underlying type `ty(u)`.
+    pub ty: TypeExpr,
+    /// Inclusion exceptions `ie(u)`.
+    pub ie: Vec<SymRef>,
+    /// Exclusion exceptions `ee(u)`.
+    pub ee: Vec<SymRef>,
+}
+
+impl CategoryExpr {
+    /// A plain typed null with no exceptions.
+    pub fn of_type(ty: TypeExpr) -> Self {
+        CategoryExpr {
+            ty,
+            ie: Vec::new(),
+            ee: Vec::new(),
+        }
+    }
+}
+
+/// The dictionary: one entry per active internal symbol.
+#[derive(Debug, Clone, Default)]
+pub struct ConstantDictionary {
+    entries: Vec<CategoryExpr>,
+}
+
+impl ConstantDictionary {
+    /// An empty dictionary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Activates a fresh internal symbol with the given category
+    /// expression. Exception lists may reference only previously
+    /// activated internal symbols (no cycles by construction).
+    pub fn activate(&mut self, expr: CategoryExpr) -> SymRef {
+        let id = self.entries.len() as u32;
+        for list in [&expr.ie, &expr.ee] {
+            for s in list {
+                if let SymRef::Internal(i) = s {
+                    assert!(
+                        *i < id,
+                        "exception lists may reference only earlier symbols"
+                    );
+                }
+            }
+        }
+        self.entries.push(expr);
+        SymRef::Internal(id)
+    }
+
+    /// Number of active internal symbols.
+    pub fn n_internal(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// The category expression of an internal symbol.
+    pub fn entry(&self, internal: u32) -> &CategoryExpr {
+        &self.entries[internal as usize]
+    }
+
+    /// Replaces the entry of an internal symbol (used by semantic
+    /// resolution to narrow a null after unification).
+    pub fn narrow(&mut self, internal: u32, expr: CategoryExpr) {
+        self.entries[internal as usize] = expr;
+    }
+
+    /// The denotation of a symbol: the set of external constants it may
+    /// equal, as a bitmask over the algebra's constants.
+    pub fn denotation(&self, algebra: &TypeAlgebra, sym: SymRef) -> u64 {
+        match sym {
+            SymRef::External(c) => 1u64 << c,
+            SymRef::Internal(i) => {
+                let e = self.entry(i);
+                let mut mask = algebra.eval(&e.ty);
+                for inc in &e.ie {
+                    mask |= self.denotation(algebra, *inc);
+                }
+                for exc in &e.ee {
+                    let d = self.denotation(algebra, *exc);
+                    // Exclude only forced values (singleton denotations):
+                    // "u ≠ v" for a still-open null v excludes nothing
+                    // definitively.
+                    if d.count_ones() == 1 {
+                        mask &= !d;
+                    }
+                }
+                mask
+            }
+        }
+    }
+
+    /// Whether the symbol's value is fully determined.
+    pub fn is_determined(&self, algebra: &TypeAlgebra, sym: SymRef) -> bool {
+        self.denotation(algebra, sym).count_ones() == 1
+    }
+
+    /// All external constants a symbol may denote, as indices.
+    pub fn possible_values(&self, algebra: &TypeAlgebra, sym: SymRef) -> Vec<u32> {
+        let mask = self.denotation(algebra, sym);
+        (0..algebra.n_constants() as u32)
+            .filter(|c| mask & (1 << c) != 0)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::TypeAlgebra;
+
+    fn setup() -> (TypeAlgebra, ConstantDictionary) {
+        let mut a = TypeAlgebra::new();
+        a.add_type("telno", &["t1", "t2", "t3"]);
+        a.add_type("person", &["jones"]);
+        (a, ConstantDictionary::new())
+    }
+
+    #[test]
+    fn external_denotation_is_singleton() {
+        let (a, d) = setup();
+        let jones = SymRef::External(a.constant("jones").unwrap());
+        assert_eq!(d.denotation(&a, jones).count_ones(), 1);
+        assert!(d.is_determined(&a, jones));
+    }
+
+    #[test]
+    fn typed_null_denotes_its_type() {
+        let (a, mut d) = setup();
+        let telno = TypeExpr::Base(a.type_id("telno").unwrap());
+        let u = d.activate(CategoryExpr::of_type(telno));
+        assert_eq!(d.possible_values(&a, u).len(), 3);
+        assert!(!d.is_determined(&a, u));
+    }
+
+    #[test]
+    fn inclusion_exceptions_extend() {
+        let (a, mut d) = setup();
+        let telno = TypeExpr::Base(a.type_id("telno").unwrap());
+        let jones = SymRef::External(a.constant("jones").unwrap());
+        let u = d.activate(CategoryExpr {
+            ty: telno,
+            ie: vec![jones],
+            ee: vec![],
+        });
+        // telno ∪ {jones}: 4 possible values.
+        assert_eq!(d.possible_values(&a, u).len(), 4);
+    }
+
+    #[test]
+    fn exclusion_of_external_removes_value() {
+        let (a, mut d) = setup();
+        let telno = TypeExpr::Base(a.type_id("telno").unwrap());
+        let t1 = SymRef::External(a.constant("t1").unwrap());
+        let u = d.activate(CategoryExpr {
+            ty: telno,
+            ie: vec![],
+            ee: vec![t1],
+        });
+        let vals = d.possible_values(&a, u);
+        assert_eq!(vals.len(), 2);
+        assert!(!vals.contains(&a.constant("t1").unwrap()));
+    }
+
+    #[test]
+    fn exclusion_of_open_null_excludes_nothing() {
+        let (a, mut d) = setup();
+        let telno = TypeExpr::Base(a.type_id("telno").unwrap());
+        let v = d.activate(CategoryExpr::of_type(telno.clone()));
+        let u = d.activate(CategoryExpr {
+            ty: telno,
+            ie: vec![],
+            ee: vec![v],
+        });
+        // v is open (3 values), so u keeps all 3.
+        assert_eq!(d.possible_values(&a, u).len(), 3);
+    }
+
+    #[test]
+    fn exclusion_of_determined_null_excludes_its_value() {
+        let (a, mut d) = setup();
+        let t2 = a.constant("t2").unwrap();
+        // v is a null pinned to exactly {t2} via an empty type + ie.
+        let v = d.activate(CategoryExpr {
+            ty: TypeExpr::Empty,
+            ie: vec![SymRef::External(t2)],
+            ee: vec![],
+        });
+        assert!(d.is_determined(&a, v));
+        let telno = TypeExpr::Base(a.type_id("telno").unwrap());
+        let u = d.activate(CategoryExpr {
+            ty: telno,
+            ie: vec![],
+            ee: vec![v],
+        });
+        assert!(!d.possible_values(&a, u).contains(&t2));
+        assert_eq!(d.possible_values(&a, u).len(), 2);
+    }
+
+    #[test]
+    fn narrow_updates_entry() {
+        let (a, mut d) = setup();
+        let telno = TypeExpr::Base(a.type_id("telno").unwrap());
+        let u = d.activate(CategoryExpr::of_type(telno));
+        let SymRef::Internal(id) = u else {
+            panic!("internal expected")
+        };
+        d.narrow(
+            id,
+            CategoryExpr {
+                ty: TypeExpr::Empty,
+                ie: vec![SymRef::External(a.constant("t3").unwrap())],
+                ee: vec![],
+            },
+        );
+        assert!(d.is_determined(&a, u));
+    }
+
+    #[test]
+    #[should_panic(expected = "earlier symbols")]
+    fn forward_references_rejected() {
+        let (_a, mut d) = setup();
+        let _ = d.activate(CategoryExpr {
+            ty: TypeExpr::Universe,
+            ie: vec![SymRef::Internal(5)],
+            ee: vec![],
+        });
+    }
+}

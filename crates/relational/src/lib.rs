@@ -1,0 +1,43 @@
+//! First-order relational extension (§5 of the paper).
+//!
+//! The propositional framework is lifted to a (function-free, finite)
+//! relational one by *grounding*: each ground fact `R(a₁,…,aₖ)` becomes a
+//! proposition letter (§1.2, §5.2). Directly grounding updates like
+//! "Jones has a new telephone number" is impractical — the update formula
+//! is an enormous disjunction over all telephone constants (Motivating
+//! Example 5.1.1) — so the paper sketches a representation with:
+//!
+//! * **external** constants (user-visible, uniquely named) and
+//!   **internal** constants (nulls; countable, activated on demand);
+//! * a Boolean algebra of **types** with a constant dictionary assigning
+//!   each internal symbol a *Boolean category expression*: an underlying
+//!   type `ty(u)`, inclusion exceptions `ie(u)` and exclusion exceptions
+//!   `ee(u)` (after McSkimin–Minker);
+//! * **semantic resolution**: unification consults the dictionary and
+//!   intersects the denoted constant sets;
+//! * an extended `where` with typed variables and existentials in the
+//!   insertion, e.g. `(where ((Jones = x) (y ∈ τ_u)) (insert (∃w ∈
+//!   τ_telno) (R x y w)))`.
+//!
+//! Module map: [`types`] (type algebra), [`dictionary`] (constant
+//! symbols and denotations), [`schema`] (relations and grounding),
+//! [`store`] (the null-based instance representation and its possible
+//! worlds), [`unify`] (semantic unification/resolution), [`update`]
+//! (the extended update form, including the Jones example end-to-end).
+
+pub mod dictionary;
+pub mod quant;
+pub mod query;
+pub mod schema;
+pub mod store;
+pub mod types;
+pub mod unify;
+pub mod update;
+
+pub use dictionary::{CategoryExpr, ConstantDictionary, SymRef};
+pub use quant::{resolve_quant_ground, QLiteral, QTerm, QuantClause};
+pub use query::{certain_answers, possible_answers, ConjunctiveQuery, QArg, QueryAtom};
+pub use schema::{GroundAtoms, RelSchema};
+pub use store::NullStore;
+pub use types::{TypeAlgebra, TypeExpr, TypeId};
+pub use update::{grounded_some_value_wff, Binding, Condition, ExtendedInsert};

@@ -1,0 +1,498 @@
+//! Universally quantified clauses — the Π-σ fragment of §5.2.
+//!
+//! > It is quite possible to use the full Π-σ clause framework of
+//! > McSkimin and Minker \[18\] to represent universal quantification as
+//! > well, although it will add substantially to the complexity of the
+//! > computations.
+//!
+//! A [`QuantClause`] is a clause of relational literals with typed,
+//! implicitly universally quantified variables:
+//! `∀ x₁∈τ₁ … xₖ∈τₖ. (±R(…) ∨ …)`. It denotes the set of its ground
+//! instances (one symbolic clause per instantiation of the variables by
+//! type members), and *semantic resolution* operates on it directly:
+//! unification intersects a variable's type with the other argument's
+//! denotation, either binding the variable (when the intersection is
+//! driven by a symbol) or narrowing its type (the σ-substitution).
+//! Soundness is checked against full instantiation in the tests.
+
+use crate::dictionary::{ConstantDictionary, SymRef};
+use crate::schema::RelId;
+use crate::types::{TypeAlgebra, TypeExpr};
+use crate::unify::{SymClause, SymLiteral};
+
+/// A term of a quantified literal: a concrete symbol or a clause-scoped
+/// variable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QTerm {
+    /// A constant symbol (external or internal).
+    Sym(SymRef),
+    /// A universally quantified variable, by index into the clause's
+    /// variable list.
+    Var(usize),
+}
+
+/// A literal with possibly-variable arguments.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QLiteral {
+    /// Polarity.
+    pub positive: bool,
+    /// Relation.
+    pub rel: RelId,
+    /// Arguments.
+    pub args: Vec<QTerm>,
+}
+
+/// A universally quantified clause: `∀ vars. ⋁ literals`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuantClause {
+    /// Variable types, indexed by [`QTerm::Var`].
+    pub vars: Vec<TypeExpr>,
+    /// The literals.
+    pub literals: Vec<QLiteral>,
+}
+
+impl QuantClause {
+    /// A ground (variable-free) quantified clause from a symbolic clause.
+    pub fn ground(clause: &SymClause) -> Self {
+        QuantClause {
+            vars: Vec::new(),
+            literals: clause
+                .iter()
+                .map(|l| QLiteral {
+                    positive: l.positive,
+                    rel: l.rel,
+                    args: l.args.iter().map(|&s| QTerm::Sym(s)).collect(),
+                })
+                .collect(),
+        }
+    }
+
+    /// All ground instances: one symbolic clause per assignment of the
+    /// variables to members of their types. Exponential in the number of
+    /// variables — the "substantial complexity" the paper warns about,
+    /// and exactly what semantic resolution avoids.
+    pub fn instantiate(&self, algebra: &TypeAlgebra) -> Vec<SymClause> {
+        let choices: Vec<Vec<u32>> = self.vars.iter().map(|t| algebra.members(t)).collect();
+        let mut out = Vec::new();
+        let mut pick = vec![0usize; self.vars.len()];
+        'outer: loop {
+            if choices.iter().all(|c| !c.is_empty()) {
+                let clause: SymClause = self
+                    .literals
+                    .iter()
+                    .map(|l| SymLiteral {
+                        positive: l.positive,
+                        rel: l.rel,
+                        args: l
+                            .args
+                            .iter()
+                            .map(|t| match t {
+                                QTerm::Sym(s) => *s,
+                                QTerm::Var(v) => SymRef::External(choices[*v][pick[*v]]),
+                            })
+                            .collect(),
+                    })
+                    .collect();
+                out.push(clause);
+            } else {
+                // Some variable has an empty type: no instances (the
+                // quantification is vacuous, the clause trivially true).
+                break;
+            }
+            let mut i = 0;
+            loop {
+                if i == pick.len() {
+                    break 'outer;
+                }
+                pick[i] += 1;
+                if pick[i] == choices[i].len() {
+                    pick[i] = 0;
+                    i += 1;
+                } else {
+                    break;
+                }
+            }
+        }
+        if self.vars.is_empty() && out.is_empty() {
+            // No variables: exactly one instance.
+            out.push(
+                self.literals
+                    .iter()
+                    .map(|l| SymLiteral {
+                        positive: l.positive,
+                        rel: l.rel,
+                        args: l
+                            .args
+                            .iter()
+                            .map(|t| match t {
+                                QTerm::Sym(s) => *s,
+                                QTerm::Var(_) => unreachable!("no vars"),
+                            })
+                            .collect(),
+                    })
+                    .collect(),
+            );
+        }
+        out
+    }
+
+    /// Number of ground instances.
+    pub fn instance_count(&self, algebra: &TypeAlgebra) -> usize {
+        self.vars
+            .iter()
+            .map(|t| algebra.members(t).len())
+            .product()
+    }
+}
+
+/// The result of unifying a quantified literal's arguments against a
+/// symbolic literal's: per-variable narrowing plus the positionwise
+/// intersection masks.
+#[derive(Debug, Clone)]
+pub struct QuantUnifier {
+    /// For each clause variable: the denotation mask it is narrowed to by
+    /// this unification (`None` when the variable does not occur in the
+    /// resolved literal).
+    pub var_masks: Vec<Option<u64>>,
+    /// Positionwise intersection masks, as in
+    /// [`crate::unify::semantic_unify`].
+    pub position_masks: Vec<u64>,
+}
+
+/// Semantic resolution of a quantified clause (positive literal `i`)
+/// against a ground symbolic clause (negative literal `j`).
+///
+/// The resolvent is a quantified clause over the same variable list with
+/// each variable occurring in the resolved literal *narrowed* to the
+/// intersection of its type with the opposing argument's denotation. A
+/// variable narrowed to a single constant is substituted away.
+pub fn resolve_quant_ground(
+    algebra: &TypeAlgebra,
+    dict: &ConstantDictionary,
+    c1: &QuantClause,
+    c2: &SymClause,
+    i: usize,
+    j: usize,
+) -> Option<(QuantClause, QuantUnifier)> {
+    let l1 = c1.literals.get(i)?;
+    let l2 = c2.get(j)?;
+    if !l1.positive || l2.positive || l1.rel != l2.rel || l1.args.len() != l2.args.len() {
+        return None;
+    }
+
+    let mut var_masks: Vec<Option<u64>> = vec![None; c1.vars.len()];
+    let mut position_masks = Vec::with_capacity(l1.args.len());
+    for (t, &other) in l1.args.iter().zip(l2.args.iter()) {
+        let other_denot = dict.denotation(algebra, other);
+        let this_denot = match t {
+            QTerm::Sym(s) => dict.denotation(algebra, *s),
+            QTerm::Var(v) => algebra.eval(&c1.vars[*v]),
+        };
+        let inter = this_denot & other_denot;
+        if inter == 0 {
+            return None;
+        }
+        if let QTerm::Var(v) = t {
+            // A variable constrained twice in the same literal narrows
+            // to the meet of both constraints.
+            let prior = var_masks[*v].unwrap_or(u64::MAX);
+            let merged = prior & inter;
+            if merged == 0 {
+                return None;
+            }
+            var_masks[*v] = Some(merged);
+        }
+        position_masks.push(inter);
+    }
+
+    // Build the narrowed variable list; substitute singletons.
+    let mut new_vars = Vec::new();
+    let mut var_replacement: Vec<Option<QTerm>> = vec![None; c1.vars.len()];
+    for (v, ty) in c1.vars.iter().enumerate() {
+        match var_masks[v] {
+            Some(mask) if mask.count_ones() == 1 => {
+                let constant = mask.trailing_zeros();
+                var_replacement[v] = Some(QTerm::Sym(SymRef::External(constant)));
+            }
+            Some(mask) => {
+                // Narrow the type to the mask: expressed as an
+                // intersection with the explicit member set.
+                let narrowed = narrow_type(algebra, ty, mask);
+                var_replacement[v] = Some(QTerm::Var(new_vars.len()));
+                new_vars.push(narrowed);
+            }
+            None => {
+                var_replacement[v] = Some(QTerm::Var(new_vars.len()));
+                new_vars.push(ty.clone());
+            }
+        }
+    }
+
+    let remap = |t: &QTerm| -> QTerm {
+        match t {
+            QTerm::Sym(s) => QTerm::Sym(*s),
+            QTerm::Var(v) => var_replacement[*v].clone().expect("filled above"),
+        }
+    };
+
+    let mut literals: Vec<QLiteral> = Vec::new();
+    for (k, l) in c1.literals.iter().enumerate() {
+        if k == i {
+            continue;
+        }
+        literals.push(QLiteral {
+            positive: l.positive,
+            rel: l.rel,
+            args: l.args.iter().map(&remap).collect(),
+        });
+    }
+    for (k, l) in c2.iter().enumerate() {
+        if k == j {
+            continue;
+        }
+        literals.push(QLiteral {
+            positive: l.positive,
+            rel: l.rel,
+            args: l.args.iter().map(|&s| QTerm::Sym(s)).collect(),
+        });
+    }
+
+    Some((
+        QuantClause {
+            vars: new_vars,
+            literals,
+        },
+        QuantUnifier {
+            var_masks,
+            position_masks,
+        },
+    ))
+}
+
+/// A type expression denoting exactly `original ∩ mask`, built from base
+/// types by Boolean combination against the mask's member set.
+fn narrow_type(algebra: &TypeAlgebra, original: &TypeExpr, mask: u64) -> TypeExpr {
+    // Compose as an intersection with the union of singleton exclusions'
+    // complement — simplest exact encoding: original ∩ (¬excluded) where
+    // excluded = original \ mask.
+    let excluded = algebra.eval(original) & !mask;
+    if excluded == 0 {
+        return original.clone();
+    }
+    let mut expr = original.clone();
+    for c in 0..algebra.n_constants() as u32 {
+        if excluded & (1 << c) != 0 {
+            // Exclude constant c: intersect with the complement of a
+            // type containing exactly c. Base types may not have
+            // singletons declared, so use Universe-minus via Complement
+            // of an Intersect chain — we need a TypeExpr denoting {c}.
+            // Encode {c} as the intersection of all base types containing
+            // c is unreliable; instead extend the algebra? Cheaper: use
+            // the fact that eval handles arbitrary nesting — represent
+            // {c} via Singleton support below.
+            expr = expr.intersect(TypeExpr::Complement(Box::new(singleton_expr(c))));
+        }
+    }
+    expr
+}
+
+/// A type expression denoting exactly `{c}` — encoded via the reserved
+/// [`TypeExpr::Singleton`] variant.
+fn singleton_expr(c: u32) -> TypeExpr {
+    TypeExpr::Singleton(c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dictionary::CategoryExpr;
+
+    fn setup() -> (TypeAlgebra, ConstantDictionary, RelId) {
+        let mut a = TypeAlgebra::new();
+        a.add_type("telno", &["t1", "t2", "t3"]);
+        a.add_type("person", &["jones", "smith"]);
+        (a, ConstantDictionary::new(), RelId(0))
+    }
+
+    fn ext(a: &TypeAlgebra, name: &str) -> SymRef {
+        SymRef::External(a.constant(name).unwrap())
+    }
+
+    #[test]
+    fn instantiation_counts() {
+        let (a, _d, r) = setup();
+        let telno = TypeExpr::Base(a.type_id("telno").unwrap());
+        let person = TypeExpr::Base(a.type_id("person").unwrap());
+        // ∀p∈person, t∈telno. R(p, t)
+        let c = QuantClause {
+            vars: vec![person, telno],
+            literals: vec![QLiteral {
+                positive: true,
+                rel: r,
+                args: vec![QTerm::Var(0), QTerm::Var(1)],
+            }],
+        };
+        assert_eq!(c.instance_count(&a), 6);
+        assert_eq!(c.instantiate(&a).len(), 6);
+    }
+
+    #[test]
+    fn ground_clause_single_instance() {
+        let (a, _d, r) = setup();
+        let sym = vec![SymLiteral {
+            positive: true,
+            rel: r,
+            args: vec![ext(&a, "t1")],
+        }];
+        let q = QuantClause::ground(&sym);
+        assert_eq!(q.instantiate(&a), vec![sym]);
+    }
+
+    #[test]
+    fn empty_type_vacuous() {
+        let (a, _d, r) = setup();
+        let c = QuantClause {
+            vars: vec![TypeExpr::Empty],
+            literals: vec![QLiteral {
+                positive: true,
+                rel: r,
+                args: vec![QTerm::Var(0)],
+            }],
+        };
+        assert!(c.instantiate(&a).is_empty());
+    }
+
+    #[test]
+    fn resolution_binds_variable_to_constant() {
+        let (a, d, r) = setup();
+        let telno = TypeExpr::Base(a.type_id("telno").unwrap());
+        // ∀t∈telno. R(t) ∨ S-marker — resolve against ¬R(t2).
+        let c1 = QuantClause {
+            vars: vec![telno],
+            literals: vec![
+                QLiteral {
+                    positive: true,
+                    rel: r,
+                    args: vec![QTerm::Var(0)],
+                },
+                QLiteral {
+                    positive: true,
+                    rel: RelId(1),
+                    args: vec![QTerm::Var(0)],
+                },
+            ],
+        };
+        let c2 = vec![SymLiteral {
+            positive: false,
+            rel: r,
+            args: vec![ext(&a, "t2")],
+        }];
+        let (res, unifier) = resolve_quant_ground(&a, &d, &c1, &c2, 0, 0).unwrap();
+        // The variable is bound: resolvent is ground S(t2).
+        assert!(res.vars.is_empty());
+        assert_eq!(res.literals.len(), 1);
+        assert_eq!(res.literals[0].rel, RelId(1));
+        assert_eq!(res.literals[0].args, vec![QTerm::Sym(ext(&a, "t2"))]);
+        assert_eq!(unifier.var_masks[0], Some(1 << a.constant("t2").unwrap()));
+    }
+
+    #[test]
+    fn resolution_narrows_variable_against_null() {
+        let (a, mut d, r) = setup();
+        let telno = TypeExpr::Base(a.type_id("telno").unwrap());
+        // u ∈ telno \ {t1}.
+        let u = d.activate(CategoryExpr {
+            ty: telno.clone(),
+            ie: vec![],
+            ee: vec![ext(&a, "t1")],
+        });
+        let c1 = QuantClause {
+            vars: vec![telno],
+            literals: vec![
+                QLiteral {
+                    positive: true,
+                    rel: r,
+                    args: vec![QTerm::Var(0)],
+                },
+                QLiteral {
+                    positive: true,
+                    rel: RelId(1),
+                    args: vec![QTerm::Var(0)],
+                },
+            ],
+        };
+        let c2 = vec![SymLiteral {
+            positive: false,
+            rel: r,
+            args: vec![u],
+        }];
+        let (res, _) = resolve_quant_ground(&a, &d, &c1, &c2, 0, 0).unwrap();
+        // Variable survives, narrowed to {t2, t3}: 2 instances.
+        assert_eq!(res.vars.len(), 1);
+        assert_eq!(res.instance_count(&a), 2);
+        let members = a.members(&res.vars[0]);
+        assert!(!members.contains(&a.constant("t1").unwrap()));
+    }
+
+    #[test]
+    fn resolution_fails_on_disjoint_types() {
+        let (a, d, r) = setup();
+        let person = TypeExpr::Base(a.type_id("person").unwrap());
+        let c1 = QuantClause {
+            vars: vec![person],
+            literals: vec![QLiteral {
+                positive: true,
+                rel: r,
+                args: vec![QTerm::Var(0)],
+            }],
+        };
+        let c2 = vec![SymLiteral {
+            positive: false,
+            rel: r,
+            args: vec![ext(&a, "t1")],
+        }];
+        assert!(resolve_quant_ground(&a, &d, &c1, &c2, 0, 0).is_none());
+    }
+
+    #[test]
+    fn quant_resolution_sound_wrt_instantiation() {
+        // resolve-then-instantiate ⊆ { pairwise ground resolvents of
+        // instantiate(c1) against c2 } (as sets of symbolic clauses,
+        // modulo the variable bound/narrowed).
+        use crate::unify::semantic_resolvent;
+        let (a, d, r) = setup();
+        let telno = TypeExpr::Base(a.type_id("telno").unwrap());
+        let c1 = QuantClause {
+            vars: vec![telno],
+            literals: vec![
+                QLiteral {
+                    positive: true,
+                    rel: r,
+                    args: vec![QTerm::Var(0)],
+                },
+                QLiteral {
+                    positive: false,
+                    rel: RelId(1),
+                    args: vec![QTerm::Var(0)],
+                },
+            ],
+        };
+        let c2 = vec![SymLiteral {
+            positive: false,
+            rel: r,
+            args: vec![ext(&a, "t3")],
+        }];
+        let (res, _) = resolve_quant_ground(&a, &d, &c1, &c2, 0, 0).unwrap();
+        let quant_then_inst = res.instantiate(&a);
+
+        // Ground route: instantiate c1, resolve each instance whose first
+        // literal unifies with ¬R(t3).
+        let mut ground_resolvents = Vec::new();
+        for inst in c1.instantiate(&a) {
+            if let Some((resolvent, _)) = semantic_resolvent(&a, &d, &inst, &c2, 0, 0) {
+                ground_resolvents.push(resolvent);
+            }
+        }
+        assert_eq!(quant_then_inst, ground_resolvents);
+    }
+}

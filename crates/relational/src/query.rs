@@ -1,0 +1,370 @@
+//! Conjunctive queries over null stores — the query half of §5.2's
+//! program ("it is also necessary to augment the query language").
+//!
+//! A conjunctive query `q(x̄) ← R₁(ū₁), …, Rₖ(ūₖ)` is answered under the
+//! two incomplete-information readings:
+//!
+//! * **certain answers** — tuples in the query result of *every* possible
+//!   world;
+//! * **possible answers** — tuples in the result of *some* world.
+//!
+//! Evaluation enumerates the store's possible worlds (exact; the store's
+//! groundings stay small by design) with a naive join per world. A
+//! symbolic fast path answers single-atom queries directly off the
+//! dictionary denotations, mirroring
+//! [`NullStore::certain_fact`](crate::store::NullStore::certain_fact).
+
+use std::collections::BTreeSet;
+
+use crate::schema::{GroundAtoms, RelId, RelSchema};
+use crate::store::NullStore;
+
+/// An argument of a query atom.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QArg {
+    /// A query variable (shared names join).
+    Var(String),
+    /// An external constant.
+    Const(u32),
+}
+
+/// One atom of the query body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryAtom {
+    /// The relation queried.
+    pub rel: RelId,
+    /// Argument pattern.
+    pub args: Vec<QArg>,
+}
+
+/// A conjunctive query with a distinguished head-variable list.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConjunctiveQuery {
+    /// Output variables, in order.
+    pub head: Vec<String>,
+    /// Body atoms.
+    pub body: Vec<QueryAtom>,
+}
+
+impl ConjunctiveQuery {
+    /// Builds a query, checking that head variables occur in the body
+    /// (safety).
+    pub fn new(head: Vec<String>, body: Vec<QueryAtom>) -> Self {
+        for h in &head {
+            assert!(
+                body.iter()
+                    .any(|a| a.args.iter().any(|x| matches!(x, QArg::Var(v) if v == h))),
+                "head variable '{h}' must occur in the body"
+            );
+        }
+        ConjunctiveQuery { head, body }
+    }
+
+    /// Evaluates the query over one complete relational instance given as
+    /// a membership predicate, enumerating homomorphisms by backtracking
+    /// over the body atoms against the listed facts.
+    fn eval_instance(
+        &self,
+        facts_of: &dyn Fn(RelId) -> Vec<Vec<u32>>,
+    ) -> BTreeSet<Vec<u32>> {
+        let mut out = BTreeSet::new();
+        let mut binding: Vec<(String, u32)> = Vec::new();
+        self.search(0, facts_of, &mut binding, &mut out);
+        out
+    }
+
+    fn search(
+        &self,
+        depth: usize,
+        facts_of: &dyn Fn(RelId) -> Vec<Vec<u32>>,
+        binding: &mut Vec<(String, u32)>,
+        out: &mut BTreeSet<Vec<u32>>,
+    ) {
+        if depth == self.body.len() {
+            let answer: Vec<u32> = self
+                .head
+                .iter()
+                .map(|h| {
+                    binding
+                        .iter()
+                        .find(|(n, _)| n == h)
+                        .map(|(_, v)| *v)
+                        .expect("safety checked in constructor")
+                })
+                .collect();
+            out.insert(answer);
+            return;
+        }
+        let atom = &self.body[depth];
+        'tuples: for tuple in facts_of(atom.rel) {
+            if tuple.len() != atom.args.len() {
+                continue;
+            }
+            let mark = binding.len();
+            for (arg, &value) in atom.args.iter().zip(&tuple) {
+                match arg {
+                    QArg::Const(c) => {
+                        if *c != value {
+                            binding.truncate(mark);
+                            continue 'tuples;
+                        }
+                    }
+                    QArg::Var(name) => match binding.iter().find(|(n, _)| n == name) {
+                        Some((_, bound)) if *bound != value => {
+                            binding.truncate(mark);
+                            continue 'tuples;
+                        }
+                        Some(_) => {}
+                        None => binding.push((name.clone(), value)),
+                    },
+                }
+            }
+            self.search(depth + 1, facts_of, binding, out);
+            binding.truncate(mark);
+        }
+    }
+}
+
+/// Decodes a world into per-relation fact lists.
+fn world_facts(
+    schema: &RelSchema,
+    ground: &GroundAtoms,
+    world: pwdb_worlds::World,
+) -> impl Fn(RelId) -> Vec<Vec<u32>> {
+    let mut per_rel: std::collections::HashMap<RelId, Vec<Vec<u32>>> =
+        std::collections::HashMap::new();
+    for rel_idx in 0..schema.relation_count() as u32 {
+        let rel = RelId(rel_idx);
+        let tuples: Vec<Vec<u32>> = schema
+            .ground_tuples(rel)
+            .into_iter()
+            .filter(|t| ground.atom(rel, t).is_some_and(|a| world.get(a)))
+            .collect();
+        per_rel.insert(rel, tuples);
+    }
+    move |rel| per_rel.get(&rel).cloned().unwrap_or_default()
+}
+
+/// The certain answers of `query` over the store: tuples answered in
+/// every possible world.
+pub fn certain_answers(
+    store: &NullStore,
+    schema: &RelSchema,
+    ground: &GroundAtoms,
+    query: &ConjunctiveQuery,
+) -> BTreeSet<Vec<u32>> {
+    let worlds = store.worlds(schema, ground);
+    let mut iter = worlds.iter();
+    let Some(first) = iter.next() else {
+        return BTreeSet::new(); // no worlds: vacuous, no finite answers
+    };
+    let mut acc = query.eval_instance(&world_facts(schema, ground, first));
+    for w in iter {
+        if acc.is_empty() {
+            break;
+        }
+        let answers = query.eval_instance(&world_facts(schema, ground, w));
+        acc = acc.intersection(&answers).cloned().collect();
+    }
+    acc
+}
+
+/// The possible answers: tuples answered in at least one world.
+pub fn possible_answers(
+    store: &NullStore,
+    schema: &RelSchema,
+    ground: &GroundAtoms,
+    query: &ConjunctiveQuery,
+) -> BTreeSet<Vec<u32>> {
+    let worlds = store.worlds(schema, ground);
+    let mut acc = BTreeSet::new();
+    for w in worlds.iter() {
+        acc.extend(query.eval_instance(&world_facts(schema, ground, w)));
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dictionary::{CategoryExpr, SymRef};
+    use crate::types::{TypeAlgebra, TypeExpr};
+
+    fn personnel() -> (RelSchema, RelId, RelId) {
+        let mut a = TypeAlgebra::new();
+        let person = a.add_type("person", &["jones", "smith"]);
+        let dept = a.add_type("dept", &["sales", "hr"]);
+        let telno = a.add_type("telno", &["t1", "t2"]);
+        let mut s = RelSchema::new(a);
+        let works = s.add_relation("Works", vec![person, dept]);
+        let phone = s.add_relation("Phone", vec![person, telno]);
+        (s, works, phone)
+    }
+
+    fn v(n: &str) -> QArg {
+        QArg::Var(n.to_owned())
+    }
+
+    #[test]
+    fn ground_store_joins() {
+        let (s, works, phone) = personnel();
+        let g = s.ground();
+        let a = s.algebra();
+        let jones = a.constant("jones").unwrap();
+        let sales = a.constant("sales").unwrap();
+        let t1 = a.constant("t1").unwrap();
+        let mut store = NullStore::new();
+        store.add_fact(works, vec![SymRef::External(jones), SymRef::External(sales)]);
+        store.add_fact(phone, vec![SymRef::External(jones), SymRef::External(t1)]);
+
+        // q(d, t) ← Works(p, d), Phone(p, t): join on the person.
+        let q = ConjunctiveQuery::new(
+            vec!["d".into(), "t".into()],
+            vec![
+                QueryAtom {
+                    rel: works,
+                    args: vec![v("p"), v("d")],
+                },
+                QueryAtom {
+                    rel: phone,
+                    args: vec![v("p"), v("t")],
+                },
+            ],
+        );
+        let certain = certain_answers(&store, &s, &g, &q);
+        assert_eq!(certain, BTreeSet::from([vec![sales, t1]]));
+        assert_eq!(certain, possible_answers(&store, &s, &g, &q));
+    }
+
+    #[test]
+    fn null_phone_possible_but_not_certain() {
+        let (s, _works, phone) = personnel();
+        let g = s.ground();
+        let a = s.algebra();
+        let jones = a.constant("jones").unwrap();
+        let telno = TypeExpr::Base(a.type_id("telno").unwrap());
+        let mut store = NullStore::new();
+        let u = store.dictionary_mut().activate(CategoryExpr::of_type(telno));
+        store.add_fact(phone, vec![SymRef::External(jones), u]);
+
+        // q(t) ← Phone(jones, t).
+        let q = ConjunctiveQuery::new(
+            vec!["t".into()],
+            vec![QueryAtom {
+                rel: phone,
+                args: vec![QArg::Const(jones), v("t")],
+            }],
+        );
+        assert!(certain_answers(&store, &s, &g, &q).is_empty());
+        let possible = possible_answers(&store, &s, &g, &q);
+        assert_eq!(possible.len(), 2); // both phone numbers possible
+    }
+
+    #[test]
+    fn boolean_query_certain_despite_null() {
+        // q(p) ← Phone(p, t): "who has a phone" is certain even though
+        // WHICH phone is unknown.
+        let (s, _works, phone) = personnel();
+        let g = s.ground();
+        let a = s.algebra();
+        let jones = a.constant("jones").unwrap();
+        let telno = TypeExpr::Base(a.type_id("telno").unwrap());
+        let mut store = NullStore::new();
+        let u = store.dictionary_mut().activate(CategoryExpr::of_type(telno));
+        store.add_fact(phone, vec![SymRef::External(jones), u]);
+
+        let q = ConjunctiveQuery::new(
+            vec!["p".into()],
+            vec![QueryAtom {
+                rel: phone,
+                args: vec![v("p"), v("t")],
+            }],
+        );
+        let certain = certain_answers(&store, &s, &g, &q);
+        assert_eq!(certain, BTreeSet::from([vec![jones]]));
+    }
+
+    #[test]
+    fn shared_null_join_is_certain() {
+        // Jones and Smith share an unknown phone u: the join
+        // q(p1, p2) ← Phone(p1, t), Phone(p2, t) certainly relates them.
+        let (s, _works, phone) = personnel();
+        let g = s.ground();
+        let a = s.algebra();
+        let jones = a.constant("jones").unwrap();
+        let smith = a.constant("smith").unwrap();
+        let telno = TypeExpr::Base(a.type_id("telno").unwrap());
+        let mut store = NullStore::new();
+        let u = store.dictionary_mut().activate(CategoryExpr::of_type(telno));
+        store.add_fact(phone, vec![SymRef::External(jones), u]);
+        store.add_fact(phone, vec![SymRef::External(smith), u]);
+
+        let q = ConjunctiveQuery::new(
+            vec!["p1".into(), "p2".into()],
+            vec![
+                QueryAtom {
+                    rel: phone,
+                    args: vec![v("p1"), v("t")],
+                },
+                QueryAtom {
+                    rel: phone,
+                    args: vec![v("p2"), v("t")],
+                },
+            ],
+        );
+        let certain = certain_answers(&store, &s, &g, &q);
+        assert!(certain.contains(&vec![jones, smith]));
+        assert!(certain.contains(&vec![smith, jones]));
+        assert_eq!(certain.len(), 4); // plus the two reflexive pairs
+    }
+
+    #[test]
+    fn independent_nulls_join_only_possibly() {
+        // Distinct nulls: the cross-person join is possible (they may
+        // coincide) but not certain.
+        let (s, _works, phone) = personnel();
+        let g = s.ground();
+        let a = s.algebra();
+        let jones = a.constant("jones").unwrap();
+        let smith = a.constant("smith").unwrap();
+        let telno = TypeExpr::Base(a.type_id("telno").unwrap());
+        let mut store = NullStore::new();
+        let u = store
+            .dictionary_mut()
+            .activate(CategoryExpr::of_type(telno.clone()));
+        let w = store.dictionary_mut().activate(CategoryExpr::of_type(telno));
+        store.add_fact(phone, vec![SymRef::External(jones), u]);
+        store.add_fact(phone, vec![SymRef::External(smith), w]);
+
+        let q = ConjunctiveQuery::new(
+            vec!["p1".into(), "p2".into()],
+            vec![
+                QueryAtom {
+                    rel: phone,
+                    args: vec![v("p1"), v("t")],
+                },
+                QueryAtom {
+                    rel: phone,
+                    args: vec![v("p2"), v("t")],
+                },
+            ],
+        );
+        let certain = certain_answers(&store, &s, &g, &q);
+        assert!(!certain.contains(&vec![jones, smith]));
+        let possible = possible_answers(&store, &s, &g, &q);
+        assert!(possible.contains(&vec![jones, smith]));
+    }
+
+    #[test]
+    #[should_panic(expected = "must occur in the body")]
+    fn unsafe_head_rejected() {
+        let (_s, works, _phone) = personnel();
+        let _ = ConjunctiveQuery::new(
+            vec!["ghost".into()],
+            vec![QueryAtom {
+                rel: works,
+                args: vec![v("p"), v("d")],
+            }],
+        );
+    }
+}

@@ -1,0 +1,218 @@
+//! Relational schemata and grounding (§1.2 preamble, §5.2).
+//!
+//! A relational schema has relation names with typed attribute lists; its
+//! *grounding* produces one proposition letter per well-typed ground fact
+//! (the typing constraints of §1.2 determine exactly which facts exist).
+//! For universes small enough, the grounding materializes as a
+//! `pwdb-worlds` schema so relational states can be checked against the
+//! propositional possible-worlds semantics.
+
+use std::collections::HashMap;
+
+use pwdb_logic::{AtomId, AtomTable};
+
+use crate::types::{TypeAlgebra, TypeExpr, TypeId};
+
+/// A relation with typed attributes.
+#[derive(Debug, Clone)]
+pub struct RelationDef {
+    /// Relation name.
+    pub name: String,
+    /// Attribute types (typing constraints: position `i` admits only
+    /// constants of this type).
+    pub attrs: Vec<TypeId>,
+}
+
+/// A relational schema over a type algebra.
+#[derive(Debug, Clone)]
+pub struct RelSchema {
+    algebra: TypeAlgebra,
+    relations: Vec<RelationDef>,
+    by_name: HashMap<String, u32>,
+}
+
+/// Identifier of a relation within a schema.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RelId(pub u32);
+
+impl RelSchema {
+    /// A schema over the given algebra.
+    pub fn new(algebra: TypeAlgebra) -> Self {
+        RelSchema {
+            algebra,
+            relations: Vec::new(),
+            by_name: HashMap::new(),
+        }
+    }
+
+    /// Declares a relation.
+    pub fn add_relation(&mut self, name: &str, attrs: Vec<TypeId>) -> RelId {
+        assert!(!self.by_name.contains_key(name), "duplicate relation");
+        let id = RelId(self.relations.len() as u32);
+        self.by_name.insert(name.to_owned(), id.0);
+        self.relations.push(RelationDef {
+            name: name.to_owned(),
+            attrs,
+        });
+        id
+    }
+
+    /// The type algebra.
+    pub fn algebra(&self) -> &TypeAlgebra {
+        &self.algebra
+    }
+
+    /// Looks up a relation by name.
+    pub fn relation(&self, name: &str) -> Option<RelId> {
+        self.by_name.get(name).map(|&i| RelId(i))
+    }
+
+    /// The definition of a relation.
+    pub fn relation_def(&self, id: RelId) -> &RelationDef {
+        &self.relations[id.0 as usize]
+    }
+
+    /// Number of declared relations (RelIds are dense `0..count`).
+    pub fn relation_count(&self) -> usize {
+        self.relations.len()
+    }
+
+    /// All well-typed ground tuples of a relation (cartesian product of
+    /// the attribute types' members).
+    pub fn ground_tuples(&self, rel: RelId) -> Vec<Vec<u32>> {
+        let def = self.relation_def(rel);
+        let mut tuples: Vec<Vec<u32>> = vec![vec![]];
+        for &ty in &def.attrs {
+            let members = self.algebra.members(&TypeExpr::Base(ty));
+            let mut next = Vec::with_capacity(tuples.len() * members.len());
+            for t in &tuples {
+                for &m in &members {
+                    let mut t2 = t.clone();
+                    t2.push(m);
+                    next.push(t2);
+                }
+            }
+            tuples = next;
+        }
+        tuples
+    }
+
+    /// Grounds the schema: one atom per well-typed ground fact of every
+    /// relation, named `R(a,b,…)`.
+    pub fn ground(&self) -> GroundAtoms {
+        let mut table = AtomTable::new();
+        let mut index = HashMap::new();
+        for (ri, def) in self.relations.iter().enumerate() {
+            for tuple in self.ground_tuples(RelId(ri as u32)) {
+                let name = self.fact_name(&def.name, &tuple);
+                let atom = table.intern(&name);
+                index.insert((RelId(ri as u32), tuple), atom);
+            }
+        }
+        GroundAtoms { table, index }
+    }
+
+    /// Renders a ground fact name, e.g. `R(jones,sales,t1)`.
+    pub fn fact_name(&self, rel_name: &str, tuple: &[u32]) -> String {
+        let args: Vec<&str> = tuple
+            .iter()
+            .map(|&c| self.algebra.constant_name(c).expect("constant in algebra"))
+            .collect();
+        format!("{rel_name}({})", args.join(","))
+    }
+}
+
+/// The grounding: a propositional vocabulary of fact atoms.
+#[derive(Debug, Clone)]
+pub struct GroundAtoms {
+    table: AtomTable,
+    index: HashMap<(RelId, Vec<u32>), AtomId>,
+}
+
+impl GroundAtoms {
+    /// The atom of a ground fact.
+    pub fn atom(&self, rel: RelId, tuple: &[u32]) -> Option<AtomId> {
+        self.index.get(&(rel, tuple.to_vec())).copied()
+    }
+
+    /// Number of fact atoms (the grounded vocabulary size — the quantity
+    /// experiment E9 tracks as domains grow).
+    pub fn n_atoms(&self) -> usize {
+        self.table.len()
+    }
+
+    /// The interned name table.
+    pub fn table(&self) -> &AtomTable {
+        &self.table
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn personnel() -> (RelSchema, RelId) {
+        let mut a = TypeAlgebra::new();
+        let person = a.add_type("person", &["jones", "smith"]);
+        let dept = a.add_type("dept", &["sales", "hr"]);
+        let telno = a.add_type("telno", &["t1", "t2", "t3"]);
+        let mut s = RelSchema::new(a);
+        let r = s.add_relation("R", vec![person, dept, telno]);
+        (s, r)
+    }
+
+    #[test]
+    fn ground_tuples_is_typed_product() {
+        let (s, r) = personnel();
+        let tuples = s.ground_tuples(r);
+        assert_eq!(tuples.len(), 2 * 2 * 3);
+        // Every tuple respects the typing constraints.
+        let person_mask = s.algebra.eval(&TypeExpr::Base(s.relation_def(r).attrs[0]));
+        for t in &tuples {
+            assert!(person_mask & (1 << t[0]) != 0);
+        }
+    }
+
+    #[test]
+    fn grounding_names_atoms() {
+        let (s, r) = personnel();
+        let g = s.ground();
+        assert_eq!(g.n_atoms(), 12);
+        let jones = s.algebra.constant("jones").unwrap();
+        let sales = s.algebra.constant("sales").unwrap();
+        let t1 = s.algebra.constant("t1").unwrap();
+        let atom = g.atom(r, &[jones, sales, t1]).unwrap();
+        assert_eq!(g.table().name(atom), Some("R(jones,sales,t1)"));
+    }
+
+    #[test]
+    fn unknown_fact_has_no_atom() {
+        let (s, r) = personnel();
+        let g = s.ground();
+        // Ill-typed tuple (person in telno position) was never grounded.
+        let jones = s.algebra.constant("jones").unwrap();
+        assert_eq!(g.atom(r, &[jones, jones, jones]), None);
+    }
+
+    #[test]
+    fn multiple_relations_share_vocabulary() {
+        let mut a = TypeAlgebra::new();
+        let person = a.add_type("person", &["jones"]);
+        let mut s = RelSchema::new(a);
+        let r1 = s.add_relation("Emp", vec![person]);
+        let r2 = s.add_relation("Mgr", vec![person]);
+        let g = s.ground();
+        assert_eq!(g.n_atoms(), 2);
+        assert_ne!(g.atom(r1, &[0]), g.atom(r2, &[0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate relation")]
+    fn duplicate_relation_rejected() {
+        let mut a = TypeAlgebra::new();
+        let t = a.add_type("t", &["x"]);
+        let mut s = RelSchema::new(a);
+        s.add_relation("R", vec![t]);
+        s.add_relation("R", vec![t]);
+    }
+}

@@ -1,0 +1,480 @@
+//! The null-based instance representation (§5.2) and its possible-worlds
+//! semantics.
+//!
+//! A [`NullStore`] holds positive ground facts whose arguments may be
+//! internal (null) symbols, under the *modified closed world assumption*:
+//! the stored facts are all the facts there are, and every internal
+//! symbol equals some external constant. The set of possible worlds is
+//! obtained by valuating the internal symbols over their denotations
+//! (respecting exclusion constraints) and reading each valuated fact set
+//! as a complete closed-world instance.
+//!
+//! This representation is exactly what makes the "Jones has a new
+//! telephone number" update O(1) instead of an enormous ground
+//! disjunction (Motivating Example 5.1.1) — experiment E9 measures the
+//! gap.
+
+use std::collections::BTreeSet;
+
+use pwdb_worlds::{World, WorldSet};
+
+use crate::dictionary::{ConstantDictionary, SymRef};
+use crate::schema::{GroundAtoms, RelId, RelSchema};
+
+/// A fact with possibly-null arguments.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SymFact {
+    /// The relation.
+    pub rel: RelId,
+    /// Arguments: external constants or internal symbols.
+    pub args: Vec<SymRef>,
+}
+
+/// A set of positive facts over external and internal constants.
+#[derive(Debug, Clone, Default)]
+pub struct NullStore {
+    facts: Vec<SymFact>,
+    dictionary: ConstantDictionary,
+}
+
+impl NullStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The constant dictionary (shared by all facts).
+    pub fn dictionary(&self) -> &ConstantDictionary {
+        &self.dictionary
+    }
+
+    /// Mutable dictionary access (to activate internal symbols).
+    pub fn dictionary_mut(&mut self) -> &mut ConstantDictionary {
+        &mut self.dictionary
+    }
+
+    /// The stored facts.
+    pub fn facts(&self) -> &[SymFact] {
+        &self.facts
+    }
+
+    /// Adds a fact.
+    pub fn add_fact(&mut self, rel: RelId, args: Vec<SymRef>) {
+        self.facts.push(SymFact { rel, args });
+    }
+
+    /// Removes every fact of `rel` whose arguments *must* match the
+    /// pattern (`None` = wildcard; `Some(c)` matches args whose
+    /// denotation is exactly `{c}`). Returns the number removed.
+    pub fn remove_matching(
+        &mut self,
+        schema: &RelSchema,
+        rel: RelId,
+        pattern: &[Option<u32>],
+    ) -> usize {
+        let algebra = schema.algebra();
+        let dict = &self.dictionary;
+        let before = self.facts.len();
+        self.facts.retain(|f| {
+            if f.rel != rel {
+                return true;
+            }
+            let matches = f.args.iter().zip(pattern).all(|(arg, p)| match p {
+                None => true,
+                Some(c) => dict.denotation(algebra, *arg) == 1u64 << c,
+            });
+            !matches
+        });
+        before - self.facts.len()
+    }
+
+    /// Representation size: number of facts (each O(arity)). Contrast
+    /// with the grounded disjunction of E9.
+    pub fn size(&self) -> usize {
+        self.facts.iter().map(|f| f.args.len()).sum()
+    }
+
+    /// The internal symbols occurring in the stored facts, sorted.
+    pub fn active_internals(&self) -> Vec<u32> {
+        let mut out: BTreeSet<u32> = BTreeSet::new();
+        for f in &self.facts {
+            for a in &f.args {
+                if let SymRef::Internal(i) = a {
+                    out.insert(*i);
+                }
+            }
+        }
+        out.into_iter().collect()
+    }
+
+    /// Whether the ground fact `rel(tuple)` holds in **every** possible
+    /// world of the store — the certain-answer reading.
+    ///
+    /// Decided symbolically: a fact is certain iff some stored fact of
+    /// the relation has all argument denotations pinned to the tuple's
+    /// constants (no world enumeration). Sound and complete for stores
+    /// whose nulls are independent or constrained only by `ee`
+    /// inequalities — a null with several possible values never yields a
+    /// certain fact through that argument.
+    pub fn certain_fact(&self, schema: &RelSchema, rel: RelId, tuple: &[u32]) -> bool {
+        let algebra = schema.algebra();
+        self.facts.iter().any(|f| {
+            f.rel == rel
+                && f.args.len() == tuple.len()
+                && f.args.iter().zip(tuple).all(|(arg, &c)| {
+                    self.dictionary.denotation(algebra, *arg) == 1u64 << c
+                })
+        })
+    }
+
+    /// Whether the ground fact `rel(tuple)` holds in **some** possible
+    /// world — the possible-answer reading. Symbolic: some stored fact's
+    /// argument denotations all contain the tuple's constants. (For
+    /// stores with `ee`-coupled nulls this is an upper approximation; the
+    /// exact check is membership in [`NullStore::worlds`].)
+    pub fn possible_fact(&self, schema: &RelSchema, rel: RelId, tuple: &[u32]) -> bool {
+        let algebra = schema.algebra();
+        self.facts.iter().any(|f| {
+            f.rel == rel
+                && f.args.len() == tuple.len()
+                && f.args.iter().zip(tuple).all(|(arg, &c)| {
+                    self.dictionary.denotation(algebra, *arg) & (1u64 << c) != 0
+                })
+        })
+    }
+
+    /// The possible worlds of the store over the grounding `ground`.
+    ///
+    /// Enumerates all valuations of the active internal symbols over
+    /// their denotations, discarding valuations violating an exclusion
+    /// exception that names an internal symbol (interpreted as an
+    /// inequality constraint), and ill-typed results (a valuated argument
+    /// outside the attribute's type yields no fact atom, making the
+    /// valuation inadmissible).
+    pub fn worlds(&self, schema: &RelSchema, ground: &GroundAtoms) -> WorldSet {
+        let n = ground.n_atoms();
+        assert!(n <= 24, "grounded vocabulary too large for world sets");
+        let algebra = schema.algebra();
+        let internals = self.active_internals();
+        let choices: Vec<Vec<u32>> = internals
+            .iter()
+            .map(|&i| {
+                self.dictionary
+                    .possible_values(algebra, SymRef::Internal(i))
+            })
+            .collect();
+        let mut out = WorldSet::empty(n);
+        let mut pick = vec![0usize; internals.len()];
+        'outer: loop {
+            // Build the valuation.
+            let value_of = |s: SymRef, pick: &[usize]| -> Option<u32> {
+                match s {
+                    SymRef::External(c) => Some(c),
+                    SymRef::Internal(i) => {
+                        let pos = internals.binary_search(&i).ok()?;
+                        choices[pos].get(pick[pos]).copied()
+                    }
+                }
+            };
+            let mut admissible = !choices.iter().any(Vec::is_empty);
+            // Inequality constraints from ee lists naming internals.
+            if admissible {
+                for &i in &internals {
+                    let entry = self.dictionary.entry(i);
+                    let v = value_of(SymRef::Internal(i), &pick);
+                    for exc in &entry.ee {
+                        if let SymRef::Internal(_) = exc {
+                            if value_of(*exc, &pick) == v {
+                                admissible = false;
+                            }
+                        }
+                    }
+                }
+            }
+            if admissible {
+                let mut bits = 0u64;
+                let mut well_typed = true;
+                for f in &self.facts {
+                    let tuple: Vec<u32> = f
+                        .args
+                        .iter()
+                        .map(|&a| value_of(a, &pick).expect("choices nonempty"))
+                        .collect();
+                    match ground.atom(f.rel, &tuple) {
+                        Some(atom) => bits |= 1u64 << atom.0,
+                        None => {
+                            well_typed = false;
+                            break;
+                        }
+                    }
+                }
+                if well_typed {
+                    out.insert(World::from_bits(bits, n));
+                }
+            }
+            // Odometer.
+            let mut i = 0;
+            loop {
+                if i == pick.len() {
+                    break 'outer;
+                }
+                pick[i] += 1;
+                if pick[i] >= choices[i].len().max(1) {
+                    pick[i] = 0;
+                    i += 1;
+                } else {
+                    break;
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dictionary::CategoryExpr;
+    use crate::types::{TypeAlgebra, TypeExpr};
+
+    fn personnel() -> (RelSchema, RelId) {
+        let mut a = TypeAlgebra::new();
+        let person = a.add_type("person", &["jones", "smith"]);
+        let telno = a.add_type("telno", &["t1", "t2", "t3"]);
+        let mut s = RelSchema::new(a);
+        let r = s.add_relation("Phone", vec![person, telno]);
+        (s, r)
+    }
+
+    #[test]
+    fn ground_store_single_world() {
+        let (s, r) = personnel();
+        let g = s.ground();
+        let jones = s.algebra().constant("jones").unwrap();
+        let t1 = s.algebra().constant("t1").unwrap();
+        let mut store = NullStore::new();
+        store.add_fact(r, vec![SymRef::External(jones), SymRef::External(t1)]);
+        let worlds = store.worlds(&s, &g);
+        assert_eq!(worlds.len(), 1);
+        let atom = g.atom(r, &[jones, t1]).unwrap();
+        assert!(worlds.iter().next().unwrap().get(atom));
+    }
+
+    #[test]
+    fn null_argument_spans_its_type() {
+        let (s, r) = personnel();
+        let g = s.ground();
+        let jones = s.algebra().constant("jones").unwrap();
+        let telno = TypeExpr::Base(s.algebra().type_id("telno").unwrap());
+        let mut store = NullStore::new();
+        let u = store.dictionary_mut().activate(CategoryExpr::of_type(telno));
+        store.add_fact(r, vec![SymRef::External(jones), u]);
+        let worlds = store.worlds(&s, &g);
+        // One world per phone, each with exactly one Phone(jones, ·).
+        assert_eq!(worlds.len(), 3);
+        for w in worlds.iter() {
+            let count = (0..g.n_atoms())
+                .filter(|&i| w.get(pwdb_logic::AtomId(i as u32)))
+                .count();
+            assert_eq!(count, 1);
+        }
+    }
+
+    #[test]
+    fn two_nulls_are_independent() {
+        let (s, r) = personnel();
+        let g = s.ground();
+        let jones = s.algebra().constant("jones").unwrap();
+        let smith = s.algebra().constant("smith").unwrap();
+        let telno = TypeExpr::Base(s.algebra().type_id("telno").unwrap());
+        let mut store = NullStore::new();
+        let u = store
+            .dictionary_mut()
+            .activate(CategoryExpr::of_type(telno.clone()));
+        let v = store.dictionary_mut().activate(CategoryExpr::of_type(telno));
+        store.add_fact(r, vec![SymRef::External(jones), u]);
+        store.add_fact(r, vec![SymRef::External(smith), v]);
+        assert_eq!(store.worlds(&s, &g).len(), 9);
+    }
+
+    #[test]
+    fn inequality_constraint_prunes_diagonal() {
+        let (s, r) = personnel();
+        let g = s.ground();
+        let jones = s.algebra().constant("jones").unwrap();
+        let smith = s.algebra().constant("smith").unwrap();
+        let telno = TypeExpr::Base(s.algebra().type_id("telno").unwrap());
+        let mut store = NullStore::new();
+        let u = store
+            .dictionary_mut()
+            .activate(CategoryExpr::of_type(telno.clone()));
+        // v ≠ u.
+        let v = store.dictionary_mut().activate(CategoryExpr {
+            ty: telno,
+            ie: vec![],
+            ee: vec![u],
+        });
+        store.add_fact(r, vec![SymRef::External(jones), u]);
+        store.add_fact(r, vec![SymRef::External(smith), v]);
+        // 3×3 minus the 3 diagonal valuations.
+        assert_eq!(store.worlds(&s, &g).len(), 6);
+    }
+
+    #[test]
+    fn shared_null_correlates_facts() {
+        let (s, r) = personnel();
+        let g = s.ground();
+        let jones = s.algebra().constant("jones").unwrap();
+        let smith = s.algebra().constant("smith").unwrap();
+        let telno = TypeExpr::Base(s.algebra().type_id("telno").unwrap());
+        let mut store = NullStore::new();
+        let u = store.dictionary_mut().activate(CategoryExpr::of_type(telno));
+        // Jones and Smith share an (unknown) phone.
+        store.add_fact(r, vec![SymRef::External(jones), u]);
+        store.add_fact(r, vec![SymRef::External(smith), u]);
+        let worlds = store.worlds(&s, &g);
+        assert_eq!(worlds.len(), 3);
+    }
+
+    #[test]
+    fn remove_matching_by_determined_value() {
+        let (s, r) = personnel();
+        let jones = s.algebra().constant("jones").unwrap();
+        let smith = s.algebra().constant("smith").unwrap();
+        let t1 = s.algebra().constant("t1").unwrap();
+        let mut store = NullStore::new();
+        store.add_fact(r, vec![SymRef::External(jones), SymRef::External(t1)]);
+        store.add_fact(r, vec![SymRef::External(smith), SymRef::External(t1)]);
+        let removed = store.remove_matching(&s, r, &[Some(jones), None]);
+        assert_eq!(removed, 1);
+        assert_eq!(store.facts().len(), 1);
+    }
+
+    #[test]
+    fn remove_matching_does_not_touch_open_nulls() {
+        let (s, r) = personnel();
+        let jones = s.algebra().constant("jones").unwrap();
+        let person = TypeExpr::Base(s.algebra().type_id("person").unwrap());
+        let t1 = s.algebra().constant("t1").unwrap();
+        let mut store = NullStore::new();
+        let who = store.dictionary_mut().activate(CategoryExpr::of_type(person));
+        store.add_fact(r, vec![who, SymRef::External(t1)]);
+        // The fact's person is undetermined: a Jones-pattern must not
+        // remove it.
+        let removed = store.remove_matching(&s, r, &[Some(jones), None]);
+        assert_eq!(removed, 0);
+    }
+
+    #[test]
+    fn empty_store_is_single_empty_world() {
+        let (s, _r) = personnel();
+        let g = s.ground();
+        let store = NullStore::new();
+        let worlds = store.worlds(&s, &g);
+        assert_eq!(worlds.len(), 1);
+        assert!(worlds.contains(World::from_bits(0, g.n_atoms())));
+    }
+
+    #[test]
+    fn size_counts_argument_slots() {
+        let (s, r) = personnel();
+        let jones = s.algebra().constant("jones").unwrap();
+        let t1 = s.algebra().constant("t1").unwrap();
+        let mut store = NullStore::new();
+        store.add_fact(r, vec![SymRef::External(jones), SymRef::External(t1)]);
+        assert_eq!(store.size(), 2);
+        let _ = s; // schema kept alive for clarity
+    }
+}
+
+#[cfg(test)]
+mod query_tests {
+    use super::*;
+    use crate::dictionary::CategoryExpr;
+    use crate::types::{TypeAlgebra, TypeExpr};
+
+    fn personnel() -> (RelSchema, RelId) {
+        let mut a = TypeAlgebra::new();
+        let person = a.add_type("person", &["jones", "smith"]);
+        let telno = a.add_type("telno", &["t1", "t2", "t3"]);
+        let mut s = RelSchema::new(a);
+        let r = s.add_relation("Phone", vec![person, telno]);
+        (s, r)
+    }
+
+    #[test]
+    fn ground_fact_is_certain_and_possible() {
+        let (s, r) = personnel();
+        let jones = s.algebra().constant("jones").unwrap();
+        let t1 = s.algebra().constant("t1").unwrap();
+        let t2 = s.algebra().constant("t2").unwrap();
+        let mut store = NullStore::new();
+        store.add_fact(r, vec![SymRef::External(jones), SymRef::External(t1)]);
+        assert!(store.certain_fact(&s, r, &[jones, t1]));
+        assert!(store.possible_fact(&s, r, &[jones, t1]));
+        assert!(!store.certain_fact(&s, r, &[jones, t2]));
+        assert!(!store.possible_fact(&s, r, &[jones, t2]));
+    }
+
+    #[test]
+    fn null_fact_is_possible_but_not_certain() {
+        let (s, r) = personnel();
+        let jones = s.algebra().constant("jones").unwrap();
+        let telno = TypeExpr::Base(s.algebra().type_id("telno").unwrap());
+        let mut store = NullStore::new();
+        let u = store.dictionary_mut().activate(CategoryExpr::of_type(telno));
+        store.add_fact(r, vec![SymRef::External(jones), u]);
+        for t in ["t1", "t2", "t3"] {
+            let tc = s.algebra().constant(t).unwrap();
+            assert!(store.possible_fact(&s, r, &[jones, tc]), "{t}");
+            assert!(!store.certain_fact(&s, r, &[jones, tc]), "{t}");
+        }
+    }
+
+    #[test]
+    fn determined_null_is_certain() {
+        let (s, r) = personnel();
+        let jones = s.algebra().constant("jones").unwrap();
+        let t3 = s.algebra().constant("t3").unwrap();
+        let mut store = NullStore::new();
+        let u = store.dictionary_mut().activate(CategoryExpr {
+            ty: TypeExpr::Empty,
+            ie: vec![SymRef::External(t3)],
+            ee: vec![],
+        });
+        store.add_fact(r, vec![SymRef::External(jones), u]);
+        assert!(store.certain_fact(&s, r, &[jones, t3]));
+    }
+
+    #[test]
+    fn symbolic_queries_agree_with_world_semantics() {
+        // Cross-check against full enumeration on an independent-null
+        // store (where the symbolic readings are exact).
+        let (s, r) = personnel();
+        let g = s.ground();
+        let jones = s.algebra().constant("jones").unwrap();
+        let smith = s.algebra().constant("smith").unwrap();
+        let t1 = s.algebra().constant("t1").unwrap();
+        let telno = TypeExpr::Base(s.algebra().type_id("telno").unwrap());
+        let mut store = NullStore::new();
+        let u = store.dictionary_mut().activate(CategoryExpr::of_type(telno));
+        store.add_fact(r, vec![SymRef::External(jones), u]);
+        store.add_fact(r, vec![SymRef::External(smith), SymRef::External(t1)]);
+        let worlds = store.worlds(&s, &g);
+        for tuple in s.ground_tuples(r) {
+            let atom = g.atom(r, &tuple).unwrap();
+            let certain_enum = worlds.iter().all(|w| w.get(atom));
+            let possible_enum = worlds.iter().any(|w| w.get(atom));
+            assert_eq!(
+                store.certain_fact(&s, r, &tuple),
+                certain_enum,
+                "certain mismatch on {tuple:?}"
+            );
+            assert_eq!(
+                store.possible_fact(&s, r, &tuple),
+                possible_enum,
+                "possible mismatch on {tuple:?}"
+            );
+        }
+    }
+}

@@ -1,0 +1,253 @@
+//! The Boolean algebra of types (§5.2, after McSkimin–Minker \[18\] and
+//! Reiter \[20\]).
+//!
+//! External constants form a finite universe (≤ 64 per algebra, matching
+//! the bit-packed representation used throughout the workspace). A *base
+//! type* is a named subset; arbitrary types are Boolean combinations,
+//! evaluated eagerly into constant-set bitmasks.
+
+use std::collections::HashMap;
+
+/// Identifier of a named base type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TypeId(pub u32);
+
+/// A type expression in the Boolean algebra of types.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TypeExpr {
+    /// The universal type `τ_u` (all external constants).
+    Universe,
+    /// The empty type.
+    Empty,
+    /// A named base type.
+    Base(TypeId),
+    /// The singleton type `{c}` of one external constant (used by
+    /// semantic resolution's σ-narrowing, see `crate::quant`).
+    Singleton(u32),
+    /// Union of two types.
+    Union(Box<TypeExpr>, Box<TypeExpr>),
+    /// Intersection of two types.
+    Intersect(Box<TypeExpr>, Box<TypeExpr>),
+    /// Complement relative to the universe.
+    Complement(Box<TypeExpr>),
+}
+
+impl TypeExpr {
+    /// `self ∪ rhs`.
+    pub fn union(self, rhs: TypeExpr) -> TypeExpr {
+        TypeExpr::Union(Box::new(self), Box::new(rhs))
+    }
+
+    /// `self ∩ rhs`.
+    pub fn intersect(self, rhs: TypeExpr) -> TypeExpr {
+        TypeExpr::Intersect(Box::new(self), Box::new(rhs))
+    }
+
+    /// `¬self`.
+    pub fn complement(self) -> TypeExpr {
+        TypeExpr::Complement(Box::new(self))
+    }
+}
+
+/// The algebra: external constant names plus named base types over them.
+#[derive(Debug, Clone, Default)]
+pub struct TypeAlgebra {
+    constants: Vec<String>,
+    constant_ids: HashMap<String, u32>,
+    type_names: Vec<String>,
+    type_masks: Vec<u64>,
+    type_ids: HashMap<String, TypeId>,
+}
+
+impl TypeAlgebra {
+    /// An empty algebra.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns an external constant, returning its index.
+    pub fn add_constant(&mut self, name: &str) -> u32 {
+        if let Some(&id) = self.constant_ids.get(name) {
+            return id;
+        }
+        let id = self.constants.len() as u32;
+        assert!(id < 64, "at most 64 external constants per algebra");
+        self.constants.push(name.to_owned());
+        self.constant_ids.insert(name.to_owned(), id);
+        id
+    }
+
+    /// Declares a base type as an explicit constant set (names are
+    /// interned as needed).
+    pub fn add_type(&mut self, name: &str, members: &[&str]) -> TypeId {
+        let mut mask = 0u64;
+        for m in members {
+            mask |= 1u64 << self.add_constant(m);
+        }
+        let id = TypeId(self.type_names.len() as u32);
+        self.type_names.push(name.to_owned());
+        self.type_masks.push(mask);
+        self.type_ids.insert(name.to_owned(), id);
+        id
+    }
+
+    /// Number of external constants.
+    pub fn n_constants(&self) -> usize {
+        self.constants.len()
+    }
+
+    /// Looks up a constant by name.
+    pub fn constant(&self, name: &str) -> Option<u32> {
+        self.constant_ids.get(name).copied()
+    }
+
+    /// Name of a constant index.
+    pub fn constant_name(&self, id: u32) -> Option<&str> {
+        self.constants.get(id as usize).map(String::as_str)
+    }
+
+    /// Looks up a type by name.
+    pub fn type_id(&self, name: &str) -> Option<TypeId> {
+        self.type_ids.get(name).copied()
+    }
+
+    /// Name of a type.
+    pub fn type_name(&self, id: TypeId) -> Option<&str> {
+        self.type_names.get(id.0 as usize).map(String::as_str)
+    }
+
+    /// The bitmask of every external constant.
+    pub fn universe_mask(&self) -> u64 {
+        if self.constants.len() == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.constants.len()) - 1
+        }
+    }
+
+    /// Evaluates a type expression to its constant-set bitmask.
+    pub fn eval(&self, expr: &TypeExpr) -> u64 {
+        match expr {
+            TypeExpr::Universe => self.universe_mask(),
+            TypeExpr::Empty => 0,
+            TypeExpr::Base(t) => self.type_masks[t.0 as usize],
+            TypeExpr::Singleton(c) => {
+                if (*c as usize) < self.constants.len() {
+                    1u64 << c
+                } else {
+                    0
+                }
+            }
+            TypeExpr::Union(a, b) => self.eval(a) | self.eval(b),
+            TypeExpr::Intersect(a, b) => self.eval(a) & self.eval(b),
+            TypeExpr::Complement(a) => !self.eval(a) & self.universe_mask(),
+        }
+    }
+
+    /// Members of a type expression, as constant indices.
+    pub fn members(&self, expr: &TypeExpr) -> Vec<u32> {
+        let mask = self.eval(expr);
+        (0..self.constants.len() as u32)
+            .filter(|c| mask & (1 << c) != 0)
+            .collect()
+    }
+
+    /// The smallest declared base type containing constant `c`, if any —
+    /// the dictionary entry format for external symbols (§5.2: "the
+    /// smallest type to which it belongs").
+    pub fn smallest_type_of(&self, c: u32) -> Option<TypeId> {
+        self.type_masks
+            .iter()
+            .enumerate()
+            .filter(|(_, m)| *m & (1 << c) != 0)
+            .min_by_key(|(_, m)| m.count_ones())
+            .map(|(i, _)| TypeId(i as u32))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn algebra() -> TypeAlgebra {
+        let mut a = TypeAlgebra::new();
+        a.add_type("person", &["jones", "smith"]);
+        a.add_type("telno", &["t1", "t2", "t3"]);
+        a.add_type("dept", &["sales", "hr"]);
+        a
+    }
+
+    #[test]
+    fn constants_are_interned_once() {
+        let mut a = algebra();
+        let j1 = a.add_constant("jones");
+        let j2 = a.add_constant("jones");
+        assert_eq!(j1, j2);
+        assert_eq!(a.n_constants(), 7);
+    }
+
+    #[test]
+    fn base_type_members() {
+        let a = algebra();
+        let telno = a.type_id("telno").unwrap();
+        let members = a.members(&TypeExpr::Base(telno));
+        assert_eq!(members.len(), 3);
+        assert!(members.contains(&a.constant("t2").unwrap()));
+    }
+
+    #[test]
+    fn boolean_operations() {
+        let a = algebra();
+        let person = TypeExpr::Base(a.type_id("person").unwrap());
+        let telno = TypeExpr::Base(a.type_id("telno").unwrap());
+        assert_eq!(a.members(&person.clone().intersect(telno.clone())).len(), 0);
+        assert_eq!(a.members(&person.clone().union(telno.clone())).len(), 5);
+        // Complement of person ∪ telno = dept members.
+        let rest = person.union(telno).complement();
+        let members = a.members(&rest);
+        assert_eq!(members.len(), 2);
+        assert!(members.contains(&a.constant("sales").unwrap()));
+    }
+
+    #[test]
+    fn singleton_type() {
+        let a = algebra();
+        let t1 = a.constant("t1").unwrap();
+        assert_eq!(a.eval(&TypeExpr::Singleton(t1)), 1u64 << t1);
+        assert_eq!(a.members(&TypeExpr::Singleton(t1)), vec![t1]);
+        // Out-of-range constants denote the empty type.
+        assert_eq!(a.eval(&TypeExpr::Singleton(99)), 0);
+        // Complement of a singleton excludes exactly that constant.
+        let telno = TypeExpr::Base(a.type_id("telno").unwrap());
+        let narrowed = telno.intersect(TypeExpr::Singleton(t1).complement());
+        assert_eq!(a.members(&narrowed).len(), 2);
+    }
+
+    #[test]
+    fn universe_and_empty() {
+        let a = algebra();
+        assert_eq!(a.members(&TypeExpr::Universe).len(), 7);
+        assert!(a.members(&TypeExpr::Empty).is_empty());
+        assert_eq!(a.eval(&TypeExpr::Universe), a.universe_mask());
+    }
+
+    #[test]
+    fn smallest_type_lookup() {
+        let mut a = algebra();
+        // Overlapping broader type.
+        a.add_type("contactable", &["jones", "smith", "t1", "t2", "t3"]);
+        let jones = a.constant("jones").unwrap();
+        assert_eq!(a.smallest_type_of(jones), a.type_id("person"));
+        // Constant in no type.
+        let loose = a.add_constant("loose");
+        assert_eq!(a.smallest_type_of(loose), None);
+    }
+
+    #[test]
+    fn type_names_roundtrip() {
+        let a = algebra();
+        let t = a.type_id("dept").unwrap();
+        assert_eq!(a.type_name(t), Some("dept"));
+        assert_eq!(a.constant_name(a.constant("hr").unwrap()), Some("hr"));
+    }
+}

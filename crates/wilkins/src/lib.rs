@@ -1,0 +1,505 @@
+//! The Wilkins-style update baseline (§3.3.1 of the paper; after
+//! M. W. Wilkins, STAN-CS-86-1096).
+//!
+//! The paper contrasts its mask-based algorithms with Wilkins', whose
+//! semantics is "identical to ours" (modulo the syntactic treatment noted
+//! in Remark 1.4.7) but whose *algorithms* are very different:
+//!
+//! > her algorithms introduce new auxiliary proposition letters at each
+//! > update. In effect, she defers the computation of the mask component
+//! > via the retention of historical information. Her update algorithms
+//! > are unquestionably faster than ours … linear in the sizes of the
+//! > database and update formulas. However, the price is repaid when the
+//! > database is queried.
+//!
+//! [`WilkinsDb`] realizes exactly that behavior:
+//!
+//! * [`WilkinsDb::insert`] renames each proposition letter **occurring**
+//!   in the update formula to a fresh auxiliary letter throughout the
+//!   stored clauses (pushing the old knowledge into history), then adds
+//!   the formula's clauses. Cost: one linear pass — no resolution.
+//!   The renaming is *syntactic* (per `Prop[Φ]`, not `Dep`), reproducing
+//!   the Remark 1.4.7 discrepancy: inserting the tautology `A1 ∨ ¬A1`
+//!   masks all information about `A1`.
+//! * [`WilkinsDb::query_certain`] decides entailment over the ever-growing
+//!   extended vocabulary — the deferred cost.
+//! * [`WilkinsDb::cleanup`] pays the mask debt explicitly: it forgets all
+//!   auxiliary letters by resolution (`rclosure` + `drop`), exactly the
+//!   operation §3.3.1 says "would be necessary" to clean the knowledge
+//!   base, and exactly as hard as BLU-C `mask`.
+
+use std::collections::BTreeSet;
+
+use pwdb_logic::resolution::{drop_atoms, rclosure_on_atom};
+use pwdb_logic::{cnf_of, entails, AtomId, Clause, ClauseSet, Literal, Wff};
+
+/// An incomplete-information database that defers masking by renaming
+/// updated letters into auxiliary history letters.
+#[derive(Debug, Clone)]
+pub struct WilkinsDb {
+    /// Size of the user-visible vocabulary: atoms `0 .. base_atoms`.
+    base_atoms: usize,
+    /// Clauses over the extended vocabulary (base + auxiliary letters).
+    clauses: ClauseSet,
+    /// Next free auxiliary atom index.
+    next_aux: u32,
+}
+
+impl WilkinsDb {
+    /// An empty (no-information) database over `n` user atoms.
+    pub fn new(base_atoms: usize) -> Self {
+        WilkinsDb {
+            base_atoms,
+            clauses: ClauseSet::new(),
+            next_aux: base_atoms as u32,
+        }
+    }
+
+    /// The user-visible vocabulary size.
+    pub fn base_atoms(&self) -> usize {
+        self.base_atoms
+    }
+
+    /// Number of auxiliary letters introduced so far.
+    pub fn aux_letters(&self) -> usize {
+        (self.next_aux as usize) - self.base_atoms
+    }
+
+    /// The stored clauses (over the extended vocabulary).
+    pub fn clauses(&self) -> &ClauseSet {
+        &self.clauses
+    }
+
+    /// Total literal count of the stored clauses (`Length`).
+    pub fn length(&self) -> usize {
+        self.clauses.length()
+    }
+
+    /// `(assert W)`: plain clause addition, same as BLU-C.
+    pub fn assert_wff(&mut self, wff: &Wff) {
+        for c in cnf_of(wff) {
+            self.clauses.insert(c);
+        }
+    }
+
+    /// Wilkins-style insertion: rename every letter occurring in `wff` to
+    /// a fresh auxiliary letter throughout the store, then add the
+    /// formula. One pass over the database — linear, as §3.3.1 reports.
+    ///
+    /// The formula must mention only base atoms.
+    pub fn insert(&mut self, wff: &Wff) {
+        let touched: Vec<AtomId> = wff.props().into_iter().collect();
+        assert!(
+            touched.iter().all(|a| a.index() < self.base_atoms),
+            "update formulas range over the user vocabulary"
+        );
+        if !touched.is_empty() {
+            // Allocate one fresh letter per touched atom and rewrite.
+            let mut map: Vec<Option<AtomId>> = vec![None; self.base_atoms];
+            for &a in &touched {
+                map[a.index()] = Some(AtomId(self.next_aux));
+                self.next_aux += 1;
+            }
+            let renamed: Vec<Clause> = self
+                .clauses
+                .iter()
+                .map(|c| {
+                    Clause::new(
+                        c.literals()
+                            .iter()
+                            .map(|&l| match map.get(l.atom().index()).copied().flatten() {
+                                Some(fresh) => Literal::new(fresh, l.is_positive()),
+                                None => l,
+                            })
+                            .collect(),
+                    )
+                })
+                .collect();
+            self.clauses = ClauseSet::from_clauses(renamed);
+        }
+        self.assert_wff(wff);
+    }
+
+    /// Deletion as insertion of the negation (Definition 1.4.5(b) carries
+    /// over unchanged).
+    pub fn delete(&mut self, wff: &Wff) {
+        self.insert(&wff.clone().not());
+    }
+
+    /// Conditional insertion — Wilkins' `(where φ (insert ω))` form
+    /// (§3.3.1). Still linear: the letters of `ω` are renamed into
+    /// history, and for each renamed letter `A` (history `A'`) the new
+    /// clauses say
+    ///
+    /// * where the condition held (evaluated over the *old* state, i.e.
+    ///   the renamed letters): `φ' → ω`,
+    /// * where it did not: the letter keeps its old value,
+    ///   `¬φ' → (A ↔ A')`.
+    ///
+    /// `φ` and `ω` range over the base vocabulary; `φ'` is `φ` with the
+    /// renamed letters replaced by their history letters.
+    pub fn where_insert(&mut self, cond: &Wff, wff: &Wff) {
+        let touched: Vec<AtomId> = wff.props().into_iter().collect();
+        assert!(
+            touched.iter().all(|a| a.index() < self.base_atoms)
+                && cond.atom_bound() <= self.base_atoms,
+            "update formulas range over the user vocabulary"
+        );
+        if touched.is_empty() {
+            return;
+        }
+        // Allocate history letters and rename the store.
+        let mut map: Vec<Option<AtomId>> = vec![None; self.base_atoms];
+        for &a in &touched {
+            map[a.index()] = Some(AtomId(self.next_aux));
+            self.next_aux += 1;
+        }
+        let rename_lit = |l: Literal, map: &[Option<AtomId>]| {
+            match map.get(l.atom().index()).copied().flatten() {
+                Some(fresh) => Literal::new(fresh, l.is_positive()),
+                None => l,
+            }
+        };
+        let renamed: Vec<Clause> = self
+            .clauses
+            .iter()
+            .map(|c| {
+                Clause::new(
+                    c.literals()
+                        .iter()
+                        .map(|&l| rename_lit(l, &map))
+                        .collect(),
+                )
+            })
+            .collect();
+        self.clauses = ClauseSet::from_clauses(renamed);
+
+        // The condition over the old state.
+        let cond_old = cond.substitute(&|a| match map.get(a.index()).copied().flatten() {
+            Some(fresh) => Wff::Atom(fresh),
+            None => Wff::Atom(a),
+        });
+
+        // φ' → ω.
+        for c in cnf_of(&cond_old.clone().not().or(wff.clone())) {
+            self.clauses.insert(c);
+        }
+        // ¬φ' → (A ↔ A') for each renamed letter.
+        for &a in &touched {
+            let hist = map[a.index()].expect("allocated above");
+            let frame = cond_old
+                .clone()
+                .or(Wff::Atom(a).iff(Wff::Atom(hist)));
+            for c in cnf_of(&frame) {
+                self.clauses.insert(c);
+            }
+        }
+    }
+
+    /// Conditional deletion — Wilkins' `(where φ (delete ω))` form.
+    pub fn where_delete(&mut self, cond: &Wff, wff: &Wff) {
+        self.where_insert(cond, &wff.clone().not());
+    }
+
+    /// Whether `wff` (over base atoms) holds in every possible world.
+    ///
+    /// Because auxiliary letters are existentially quantified history,
+    /// `∃aux.Φ ⊨ ψ` coincides with `Φ ⊨ ψ` when `ψ` avoids the auxiliary
+    /// letters — but the refutation now searches the extended vocabulary,
+    /// which is where the deferred cost shows up.
+    pub fn query_certain(&self, wff: &Wff) -> bool {
+        assert!(wff.atom_bound() <= self.base_atoms);
+        entails(&self.clauses, wff)
+    }
+
+    /// Whether at least one possible world remains.
+    pub fn consistent(&self) -> bool {
+        pwdb_logic::is_satisfiable(&self.clauses)
+    }
+
+    /// Pays the deferred mask: forgets every auxiliary letter by
+    /// resolution, leaving an equivalent store over the base vocabulary.
+    /// Inherently hard (Theorem 2.3.6); returns the number of letters
+    /// eliminated.
+    pub fn cleanup(&mut self) -> usize {
+        let eliminated = self.aux_letters();
+        let mut out = self.clauses.clone();
+        for aux in (self.base_atoms as u32)..self.next_aux {
+            let atom = AtomId(aux);
+            let single: BTreeSet<AtomId> = [atom].into_iter().collect();
+            out = drop_atoms(&rclosure_on_atom(&out, atom), &single);
+            out.reduce_subsumed();
+        }
+        self.clauses = out;
+        self.next_aux = self.base_atoms as u32;
+        eliminated
+    }
+
+    /// The possible worlds over the base vocabulary, for verification on
+    /// small instances: models over the extended vocabulary projected to
+    /// the base atoms.
+    pub fn base_worlds(&self) -> Vec<u64> {
+        let total = self.clauses.atom_bound().max(self.base_atoms);
+        assert!(total <= 24, "verification projection is 2^(base+aux)");
+        let base_mask = (1u64 << self.base_atoms) - 1;
+        let mut seen = BTreeSet::new();
+        for bits in 0u64..(1u64 << total) {
+            let w = pwdb_logic::Assignment::from_bits(bits, total);
+            if self.clauses.eval(&w) {
+                seen.insert(bits & base_mask);
+            }
+        }
+        seen.into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pwdb_logic::{parse_wff, AtomTable};
+
+    fn wff(n: usize, text: &str) -> Wff {
+        let mut t = AtomTable::with_indexed_atoms(n);
+        parse_wff(text, &mut t).unwrap()
+    }
+
+    #[test]
+    fn insert_adds_aux_letters() {
+        let mut db = WilkinsDb::new(3);
+        db.insert(&wff(3, "A1 | A2"));
+        assert_eq!(db.aux_letters(), 2);
+        db.insert(&wff(3, "A3"));
+        assert_eq!(db.aux_letters(), 3);
+    }
+
+    #[test]
+    fn insert_preserves_untouched_knowledge() {
+        let mut db = WilkinsDb::new(3);
+        db.assert_wff(&wff(3, "A3"));
+        db.insert(&wff(3, "A1"));
+        assert!(db.query_certain(&wff(3, "A3")));
+        assert!(db.query_certain(&wff(3, "A1")));
+    }
+
+    #[test]
+    fn insert_overwrites_contradicting_knowledge() {
+        let mut db = WilkinsDb::new(2);
+        db.insert(&wff(2, "A1"));
+        db.insert(&wff(2, "!A1"));
+        assert!(db.consistent());
+        assert!(db.query_certain(&wff(2, "!A1")));
+    }
+
+    #[test]
+    fn dependent_knowledge_is_renamed_away() {
+        // Insert A1→A2 as prior knowledge, then insert A1. The stored
+        // implication mentions A1, whose occurrences get renamed into
+        // history, so A2 does not follow — matching the mask semantics,
+        // which forgets everything depending on the inserted letters.
+        let mut db = WilkinsDb::new(2);
+        db.assert_wff(&wff(2, "A1 -> A2"));
+        db.insert(&wff(2, "A1"));
+        assert!(db.query_certain(&wff(2, "A1")));
+        assert!(!db.query_certain(&wff(2, "A2")));
+    }
+
+    #[test]
+    fn tautology_insert_masks_syntactically() {
+        // Remark 1.4.7: Wilkins treats insert[{A1 ∨ ¬A1}] non-trivially —
+        // it masks all information about A1.
+        let mut db = WilkinsDb::new(1);
+        db.assert_wff(&wff(1, "A1"));
+        assert!(db.query_certain(&wff(1, "A1")));
+        db.insert(&wff(1, "A1 | !A1"));
+        assert!(!db.query_certain(&wff(1, "A1")));
+        assert!(!db.query_certain(&wff(1, "!A1")));
+    }
+
+    #[test]
+    fn delete_is_insert_negation() {
+        let mut db = WilkinsDb::new(2);
+        db.insert(&wff(2, "A1 & A2"));
+        db.delete(&wff(2, "A1"));
+        assert!(db.query_certain(&wff(2, "!A1")));
+        // A2 arrived as its own clause mentioning only A2; the delete
+        // renames only A1, so A2 survives.
+        assert!(db.query_certain(&wff(2, "A2")));
+    }
+
+    #[test]
+    fn cleanup_eliminates_aux_and_preserves_base_meaning() {
+        let mut db = WilkinsDb::new(3);
+        db.assert_wff(&wff(3, "A1 -> A3"));
+        db.insert(&wff(3, "A1 | A2"));
+        db.insert(&wff(3, "A3"));
+        let before = db.base_worlds();
+        let eliminated = db.cleanup();
+        assert!(eliminated >= 3);
+        assert_eq!(db.aux_letters(), 0);
+        assert_eq!(db.base_worlds(), before);
+        assert!(db.clauses().atom_bound() <= 3);
+    }
+
+    #[test]
+    fn base_worlds_projects_out_history() {
+        let mut db = WilkinsDb::new(2);
+        db.insert(&wff(2, "A1"));
+        let worlds = db.base_worlds();
+        // A1 true, A2 free: worlds {01, 11}.
+        assert_eq!(worlds, vec![0b01, 0b11]);
+    }
+
+    #[test]
+    fn update_cost_does_not_resolve() {
+        // Updates must stay linear: the clause count after an insert is
+        // (old clauses, renamed) + (cnf of formula); no resolvents appear.
+        let mut db = WilkinsDb::new(4);
+        db.assert_wff(&wff(4, "(A1 | A2) & (A3 | A4)"));
+        let before = db.clauses().len();
+        db.insert(&wff(4, "A1 | A3"));
+        assert_eq!(db.clauses().len(), before + 1);
+    }
+
+    #[test]
+    fn query_rejects_aux_vocabulary() {
+        let db = WilkinsDb::new(2);
+        let q = wff(3, "A3");
+        let result = std::panic::catch_unwind(|| db.query_certain(&q));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn trivial_formula_adds_no_aux() {
+        let mut db = WilkinsDb::new(2);
+        db.insert(&wff(2, "1"));
+        assert_eq!(db.aux_letters(), 0);
+    }
+
+    #[test]
+    fn repeated_updates_grow_vocabulary_linearly() {
+        let mut db = WilkinsDb::new(4);
+        for i in 0..10 {
+            let text = if i % 2 == 0 { "A1 | A2" } else { "!A1 | A3" };
+            db.insert(&wff(4, text));
+        }
+        assert_eq!(db.aux_letters(), 10 * 2);
+    }
+}
+
+#[cfg(test)]
+mod conditional_tests {
+    use super::*;
+    use pwdb_logic::{parse_wff, AtomTable};
+
+    fn wff(n: usize, text: &str) -> Wff {
+        let mut t = AtomTable::with_indexed_atoms(n);
+        parse_wff(text, &mut t).unwrap()
+    }
+
+    #[test]
+    fn where_insert_applies_only_under_condition() {
+        // Know A2's truth value both ways; insert A1 only where A2.
+        let mut db = WilkinsDb::new(2);
+        db.where_insert(&wff(2, "A2"), &wff(2, "A1"));
+        assert!(db.query_certain(&wff(2, "A2 -> A1")));
+        assert!(!db.query_certain(&wff(2, "A1")));
+    }
+
+    #[test]
+    fn where_insert_frame_keeps_old_value_elsewhere() {
+        let mut db = WilkinsDb::new(2);
+        db.insert(&wff(2, "!A1"));
+        // Where A2, make A1 true; elsewhere A1 must stay false.
+        db.where_insert(&wff(2, "A2"), &wff(2, "A1"));
+        assert!(db.query_certain(&wff(2, "A2 -> A1")));
+        assert!(db.query_certain(&wff(2, "!A2 -> !A1")));
+    }
+
+    #[test]
+    fn where_condition_reads_old_state() {
+        // Old state: A1 certain. Condition A1 with insert ¬A1: the
+        // condition is evaluated on the OLD value, so the flip happens
+        // everywhere A1 held — i.e. everywhere.
+        let mut db = WilkinsDb::new(1);
+        db.insert(&wff(1, "A1"));
+        db.where_insert(&wff(1, "A1"), &wff(1, "!A1"));
+        assert!(db.consistent());
+        assert!(db.query_certain(&wff(1, "!A1")));
+    }
+
+    #[test]
+    fn where_matches_hlu_where_semantics() {
+        use std::collections::BTreeSet;
+        // Cross-check the possible worlds against the mask-based where
+        // on several conditions/payloads over 3 atoms.
+        for (cond, payload, seed) in [
+            ("A2", "A1", "A3"),
+            ("A1 | A2", "A3", "!A1"),
+            ("!A3", "A1 | A2", "A2"),
+        ] {
+            let mut db = WilkinsDb::new(3);
+            db.insert(&wff(3, seed));
+            db.where_insert(&wff(3, cond), &wff(3, payload));
+            let got: BTreeSet<u64> = db.base_worlds().into_iter().collect();
+
+            // Reference: split, mask+assert on the then-part, union.
+            let n = 3;
+            let seed_w = wff(n, seed);
+            let cond_w = wff(n, cond);
+            let pay_w = wff(n, payload);
+            // Wilkins masks the payload's SYNTACTIC letters.
+            let letters: Vec<pwdb_logic::AtomId> = pay_w.props().into_iter().collect();
+            let start = {
+                let mut s = BTreeSet::new();
+                for b in 0..(1u64 << n) {
+                    let a = pwdb_logic::Assignment::from_bits(b, n);
+                    if seed_w.eval(&a) {
+                        s.insert(b);
+                    }
+                }
+                s
+            };
+            let mut expect = BTreeSet::new();
+            for &b in &start {
+                let a = pwdb_logic::Assignment::from_bits(b, n);
+                if cond_w.eval(&a) {
+                    // Mask payload letters, keep assignments satisfying it.
+                    let free: u64 = letters.iter().map(|l| 1u64 << l.0).sum();
+                    let mut sub = 0u64;
+                    loop {
+                        let cand = (b & !free) | sub;
+                        let ca = pwdb_logic::Assignment::from_bits(cand, n);
+                        if pay_w.eval(&ca) {
+                            expect.insert(cand);
+                        }
+                        if sub == free {
+                            break;
+                        }
+                        sub = (sub.wrapping_sub(free)) & free;
+                    }
+                } else {
+                    expect.insert(b);
+                }
+            }
+            assert_eq!(got, expect, "case ({cond}, {payload}, {seed})");
+        }
+    }
+
+    #[test]
+    fn where_delete_negates_payload() {
+        let mut db = WilkinsDb::new(2);
+        db.insert(&wff(2, "A1"));
+        db.where_delete(&wff(2, "A2"), &wff(2, "A1"));
+        assert!(db.query_certain(&wff(2, "A2 -> !A1")));
+        assert!(db.query_certain(&wff(2, "!A2 -> A1")));
+    }
+
+    #[test]
+    fn where_with_trivial_payload_is_noop() {
+        let mut db = WilkinsDb::new(2);
+        db.insert(&wff(2, "A1"));
+        let before = db.clauses().clone();
+        db.where_insert(&wff(2, "A2"), &wff(2, "1"));
+        assert_eq!(db.clauses(), &before);
+    }
+}

@@ -1,0 +1,168 @@
+//! Axiomatization: from world sets back to clause sets.
+//!
+//! The canonical emulation `e_CI[S] : Φ ↦ Mod[Φ]` must be *surjective*
+//! (Definition 2.3.1 — an emulation is a surjective morphism of the
+//! defining algebras). This module realizes that surjectivity
+//! constructively: [`axiomatize`] produces, for every `S ∈ IDB[D]`, a
+//! clause set with `Mod[Φ] = S`, so every instance-level state has a
+//! clausal representative.
+//!
+//! The construction starts from the canonical CNF — one clause per
+//! non-world, excluding exactly it — and then prunes to a small
+//! equivalent set: literals are removed from each clause while the
+//! excluded worlds stay outside `S` (yielding prime-implicate-style
+//! clauses), and subsumed clauses are dropped.
+
+use pwdb_logic::{AtomId, Clause, ClauseSet, Literal};
+
+use crate::worldset::WorldSet;
+use crate::World;
+
+/// The clause excluding exactly `w`: the disjunction of the literals `w`
+/// falsifies.
+fn excluding_clause(w: World) -> Clause {
+    Clause::new(
+        (0..w.len() as u32)
+            .map(|i| {
+                let atom = AtomId(i);
+                Literal::new(atom, !w.get(atom))
+            })
+            .collect(),
+    )
+}
+
+/// The worlds a clause excludes (those falsifying it), intersected with
+/// membership in `target` — used to confirm a weakened clause stays
+/// sound.
+fn excludes_only_nonmembers(clause: &Clause, target: &WorldSet) -> bool {
+    // The clause excludes the subcube fixing each literal false.
+    let n = target.n_atoms();
+    let mut fixed_bits = 0u64;
+    let mut fixed_mask = 0u64;
+    for &lit in clause.literals() {
+        fixed_mask |= 1u64 << lit.atom().0;
+        if !lit.is_positive() {
+            fixed_bits |= 1u64 << lit.atom().0;
+        }
+    }
+    let universe = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
+    let free = universe & !fixed_mask;
+    let mut sub = 0u64;
+    loop {
+        let world = World::from_bits(fixed_bits | sub, n);
+        if target.contains(world) {
+            return false;
+        }
+        if sub == free {
+            return true;
+        }
+        sub = (sub.wrapping_sub(free)) & free;
+    }
+}
+
+/// Produces a clause set whose models over `target.n_atoms()` atoms are
+/// exactly `target` — the constructive surjectivity of `e_CI[S]`.
+///
+/// The result is reduced (literal-minimal clauses, no subsumed members)
+/// but not guaranteed globally minimum; `Mod`-exactness is the contract,
+/// checked by the property tests.
+pub fn axiomatize(target: &WorldSet) -> ClauseSet {
+    let n = target.n_atoms();
+    let mut out = ClauseSet::new();
+    if target.is_full() {
+        return out;
+    }
+    let complement = target.complement();
+    for w in complement.iter() {
+        let mut clause = excluding_clause(w);
+        // Greedily drop literals while the clause still excludes only
+        // non-members (prime-implicate minimization).
+        let mut i = 0;
+        while i < clause.len() {
+            let lit = clause.literals()[i];
+            let candidate = clause.without(lit);
+            if excludes_only_nonmembers(&candidate, target) {
+                clause = candidate;
+            } else {
+                i += 1;
+            }
+        }
+        pwdb_logic::subsumption::insert_with_subsumption(&mut out, clause);
+    }
+    debug_assert_eq!(&WorldSet::from_clauses(n, &out), target);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pwdb_logic::{parse_clause_set, AtomTable};
+
+    #[test]
+    fn full_set_axiomatizes_to_empty() {
+        assert!(axiomatize(&WorldSet::full(3)).is_empty());
+    }
+
+    #[test]
+    fn empty_set_is_inconsistent_axioms() {
+        let phi = axiomatize(&WorldSet::empty(2));
+        assert_eq!(WorldSet::from_clauses(2, &phi), WorldSet::empty(2));
+        assert!(!pwdb_logic::is_satisfiable(&phi));
+    }
+
+    #[test]
+    fn singleton_world_axioms_are_units() {
+        let w = World::from_bits(0b101, 3);
+        let phi = axiomatize(&WorldSet::singleton(3, w));
+        assert_eq!(WorldSet::from_clauses(3, &phi), WorldSet::singleton(3, w));
+        // Three unit clauses pin the three atoms.
+        assert_eq!(phi.len(), 3);
+        assert!(phi.iter().all(|c| c.len() == 1));
+    }
+
+    #[test]
+    fn recovers_simple_theories_small() {
+        let mut t = AtomTable::with_indexed_atoms(4);
+        for src in [
+            "{A1}",
+            "{A1 | A2}",
+            "{A1 | A2, !A2 | A3}",
+            "{A1 | !A3, A2, !A4 | A1}",
+        ] {
+            let phi = parse_clause_set(src, &mut t).unwrap();
+            let worlds = WorldSet::from_clauses(4, &phi);
+            let recovered = axiomatize(&worlds);
+            assert_eq!(
+                WorldSet::from_clauses(4, &recovered),
+                worlds,
+                "set {src}: got {recovered}"
+            );
+            // The recovered set should be as small as the original here.
+            assert!(recovered.len() <= phi.len() + 1, "set {src}: {recovered}");
+        }
+    }
+
+    #[test]
+    fn axiomatize_of_disjunction_is_single_clause() {
+        let mut t = AtomTable::with_indexed_atoms(2);
+        let phi = parse_clause_set("{A1 | A2}", &mut t).unwrap();
+        let worlds = WorldSet::from_clauses(2, &phi);
+        let recovered = axiomatize(&worlds);
+        assert_eq!(recovered, phi);
+    }
+
+    #[test]
+    fn exhaustive_exactness_three_atoms() {
+        // Every one of the 2^8 world sets over 3 atoms round-trips.
+        for bits in 0..256u32 {
+            let mut s = WorldSet::empty(3);
+            for w in 0..8u64 {
+                if bits & (1 << w) != 0 {
+                    s.insert(World::from_bits(w, 3));
+                }
+            }
+            let phi = axiomatize(&s);
+            assert_eq!(WorldSet::from_clauses(3, &phi), s, "bits {bits:08b}");
+        }
+    }
+}

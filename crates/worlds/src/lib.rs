@@ -1,0 +1,48 @@
+//! Possible-worlds substrate (§1.2–§1.5 of the paper).
+//!
+//! A *database schema* `D` pairs a propositional logic with integrity
+//! constraints; a *database* is a structure; an *incomplete information
+//! database* is a set of structures — a set of **possible worlds**. This
+//! crate gives those notions a concrete, efficient representation:
+//!
+//! * [`Schema`] — `(Prop[D], Con[D])` (Definition 1.2.1);
+//! * [`World`] — one possible world (re-export of the packed
+//!   [`Assignment`](pwdb_logic::Assignment));
+//! * [`WorldSet`] — an element of `IDB[D]`, a bitset over all `2^n`
+//!   structures, supporting the Boolean algebra (`∪`, `∩`, complement)
+//!   plus the *flip/saturate* operations that implement masks and `Dep`
+//!   in O(2^n / 64) word operations;
+//! * [`Morphism`] / [`NdMorphism`] — deterministic and nondeterministic
+//!   database morphisms with their extensions `f′` and `F̄`
+//!   (Definitions 1.3.1, 1.4.1);
+//! * [`updates`] — `insert`/`delete`/`modify` as morphisms
+//!   (Definitions 1.3.3, 1.3.4, 1.4.5), including the literal-base
+//!   machinery `LB`, minimality, completeness, and [`inset::inset`]
+//!   (Definition 1.4.4);
+//! * [`mask`] — mask congruences, simple masks, and a checker for
+//!   Theorem 1.5.4.
+//!
+//! The instance semantics **BLU-I** (crate `pwdb-blu`) is a thin layer
+//! over [`WorldSet`]; this crate is also the ground truth that the clausal
+//! implementation **BLU-C** is verified against.
+
+pub mod axiomatize;
+pub mod inset;
+pub mod mask;
+pub mod morphism;
+pub mod schema;
+pub mod symbolwise;
+pub mod updates;
+pub mod worldset;
+
+pub use axiomatize::axiomatize;
+pub use inset::{inset, literal_base_members, relevant_atoms};
+pub use mask::{congruence, simple_mask_congruence, Congruence, Mask};
+pub use morphism::{Morphism, NdMorphism};
+pub use schema::Schema;
+pub use symbolwise::SymbolwiseMorphism;
+pub use updates::{delete_wff, insert_literals, insert_wff, modify_literals, modify_wff};
+pub use worldset::WorldSet;
+
+/// One possible world: a total truth assignment over the schema's atoms.
+pub type World = pwdb_logic::Assignment;

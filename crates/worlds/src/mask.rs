@@ -1,0 +1,245 @@
+//! Masks and congruences (§1.5).
+//!
+//! A *mask* is an equivalence relation on `DB[D]` recording which
+//! information a morphism destroys: `Congruence[F]` relates worlds that
+//! every branch of `F` identifies (Definition 1.5.1). The *simple masks*
+//! `s-mask[P]` — relate worlds agreeing outside `P` — form the mask sort
+//! of **BLU** (Definition 1.5.3), and Theorem 1.5.4 says an insertion's
+//! congruence is exactly the simple mask on the inserted formula's
+//! dependency atoms.
+
+use std::collections::{BTreeSet, HashMap};
+
+use pwdb_logic::AtomId;
+
+use crate::morphism::NdMorphism;
+use crate::worldset::WorldSet;
+use crate::World;
+
+/// A simple mask: a set of proposition letters to be forgotten. This is
+/// the concrete mask domain of both BLU implementations
+/// (`BLU--I[M] = s-mask[D]`, `BLU--C[M] = 2^{Prop[D]}`).
+pub type Mask = BTreeSet<AtomId>;
+
+/// An arbitrary equivalence relation on the `2^n` worlds of a universe,
+/// represented by a class id per world.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Congruence {
+    n_atoms: usize,
+    class_of: Vec<u32>,
+}
+
+impl Congruence {
+    /// Number of atoms in the universe.
+    pub fn n_atoms(&self) -> usize {
+        self.n_atoms
+    }
+
+    /// Whether two worlds are congruent.
+    pub fn related(&self, a: World, b: World) -> bool {
+        self.class_of[a.bits() as usize] == self.class_of[b.bits() as usize]
+    }
+
+    /// Number of equivalence classes.
+    pub fn class_count(&self) -> usize {
+        self.class_of
+            .iter()
+            .copied()
+            .collect::<BTreeSet<u32>>()
+            .len()
+    }
+
+    /// The class of `world` as a world set.
+    pub fn class_of(&self, world: World) -> WorldSet {
+        let id = self.class_of[world.bits() as usize];
+        let mut out = WorldSet::empty(self.n_atoms);
+        for (bits, &c) in self.class_of.iter().enumerate() {
+            if c == id {
+                out.insert(World::from_bits(bits as u64, self.n_atoms));
+            }
+        }
+        out
+    }
+
+    /// Applies the mask to a world set: the union of the classes meeting
+    /// it — the instance-level `mask` of Definition 2.2.2(b)(iv),
+    /// `(R, X) ↦ { y | ∃x ∈ X: R(x, y) }`.
+    pub fn apply(&self, x: &WorldSet) -> WorldSet {
+        assert_eq!(x.n_atoms(), self.n_atoms);
+        let mut hit: BTreeSet<u32> = BTreeSet::new();
+        for w in x.iter() {
+            hit.insert(self.class_of[w.bits() as usize]);
+        }
+        let mut out = WorldSet::empty(self.n_atoms);
+        for (bits, c) in self.class_of.iter().enumerate() {
+            if hit.contains(c) {
+                out.insert(World::from_bits(bits as u64, self.n_atoms));
+            }
+        }
+        out
+    }
+
+    /// Builds a congruence from an arbitrary key function on worlds.
+    pub fn from_key<K: std::hash::Hash + Eq>(
+        n_atoms: usize,
+        mut key: impl FnMut(World) -> K,
+    ) -> Self {
+        assert!(n_atoms <= 20, "congruences materialize all 2^n worlds");
+        let size = 1usize << n_atoms;
+        let mut ids: HashMap<K, u32> = HashMap::new();
+        let mut class_of = Vec::with_capacity(size);
+        for bits in 0..size {
+            let k = key(World::from_bits(bits as u64, n_atoms));
+            let next = ids.len() as u32;
+            class_of.push(*ids.entry(k).or_insert(next));
+        }
+        Congruence { n_atoms, class_of }
+    }
+}
+
+/// `Congruence[F]` (Definition 1.5.1): worlds related iff every branch of
+/// `F` sends them to the same image.
+pub fn congruence(f: &NdMorphism, n_atoms: usize) -> Congruence {
+    Congruence::from_key(n_atoms, |w| {
+        f.branches()
+            .iter()
+            .map(|b| b.apply(&w).bits())
+            .collect::<Vec<u64>>()
+    })
+}
+
+/// `s-mask[P]` as a congruence (Definition 1.5.3(b)): worlds related iff
+/// they agree on every atom outside `P`.
+pub fn simple_mask_congruence(mask: &Mask, n_atoms: usize) -> Congruence {
+    let mut keep = if n_atoms == 64 {
+        u64::MAX
+    } else {
+        (1u64 << n_atoms) - 1
+    };
+    for a in mask {
+        keep &= !(1u64 << a.0);
+    }
+    Congruence::from_key(n_atoms, |w| w.bits() & keep)
+}
+
+/// Checks Theorem 1.5.4 for one wff: the congruence of `insert[Φ]`
+/// equals the simple mask on `Φ`'s relevant atoms. Returns the two
+/// congruences for inspection.
+pub fn theorem_1_5_4_witness(
+    wff: &pwdb_logic::Wff,
+    n_atoms: usize,
+) -> Result<(Congruence, Congruence), crate::updates::UpdateError> {
+    let ins = crate::updates::insert_wff(n_atoms, wff)?;
+    let lhs = congruence(&ins, n_atoms);
+    let mask: Mask = crate::inset::relevant_atoms(wff, n_atoms)
+        .into_iter()
+        .collect();
+    let rhs = simple_mask_congruence(&mask, n_atoms);
+    Ok((lhs, rhs))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::morphism::Morphism;
+    use pwdb_logic::{parse_wff, AtomTable, Wff};
+
+    fn w(bits: u64, n: usize) -> World {
+        World::from_bits(bits, n)
+    }
+
+    #[test]
+    fn simple_mask_classes() {
+        let m: Mask = [AtomId(0)].into_iter().collect();
+        let c = simple_mask_congruence(&m, 2);
+        assert_eq!(c.class_count(), 2);
+        assert!(c.related(w(0b00, 2), w(0b01, 2)));
+        assert!(!c.related(w(0b00, 2), w(0b10, 2)));
+        assert_eq!(c.class_of(w(0b00, 2)).len(), 2);
+    }
+
+    #[test]
+    fn empty_mask_is_identity_relation() {
+        let c = simple_mask_congruence(&Mask::new(), 3);
+        assert_eq!(c.class_count(), 8);
+    }
+
+    #[test]
+    fn full_mask_is_universal_relation() {
+        let m: Mask = (0..3u32).map(AtomId).collect();
+        let c = simple_mask_congruence(&m, 3);
+        assert_eq!(c.class_count(), 1);
+    }
+
+    #[test]
+    fn apply_saturates_classes() {
+        let m: Mask = [AtomId(1)].into_iter().collect();
+        let c = simple_mask_congruence(&m, 2);
+        let x = WorldSet::singleton(2, w(0b00, 2));
+        let masked = c.apply(&x);
+        assert_eq!(masked.len(), 2);
+        assert!(masked.contains(w(0b10, 2)));
+        // Agrees with the bitset saturation path.
+        assert_eq!(masked, x.saturate(AtomId(1)));
+    }
+
+    #[test]
+    fn congruence_of_identity_is_discrete() {
+        let f = NdMorphism::deterministic(Morphism::identity(3));
+        assert_eq!(congruence(&f, 3).class_count(), 8);
+    }
+
+    #[test]
+    fn congruence_of_constant_insert_masks_that_atom() {
+        let f = NdMorphism::deterministic(
+            Morphism::identity(2).with_assignment(AtomId(0), Wff::True),
+        );
+        let c = congruence(&f, 2);
+        let m: Mask = [AtomId(0)].into_iter().collect();
+        assert_eq!(c, simple_mask_congruence(&m, 2));
+    }
+
+    #[test]
+    fn theorem_1_5_4_on_paper_example() {
+        let mut t = AtomTable::with_indexed_atoms(3);
+        let phi = parse_wff("A1 | A2", &mut t).unwrap();
+        let (lhs, rhs) = theorem_1_5_4_witness(&phi, 3).unwrap();
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn theorem_1_5_4_on_assorted_formulas() {
+        for input in [
+            "A1",
+            "!A2",
+            "A1 & A2",
+            "A1 -> A2",
+            "A1 <-> A3",
+            "(A1 & A2) | (A1 & !A2)", // semantically just A1
+            "A1 | !A1",               // identity update ⇒ discrete congruence
+        ] {
+            let mut t = AtomTable::with_indexed_atoms(3);
+            let phi = parse_wff(input, &mut t).unwrap();
+            let (lhs, rhs) = theorem_1_5_4_witness(&phi, 3).unwrap();
+            assert_eq!(lhs, rhs, "formula {input}");
+        }
+    }
+
+    #[test]
+    fn congruence_classes_partition_universe() {
+        let m: Mask = [AtomId(0), AtomId(2)].into_iter().collect();
+        let c = simple_mask_congruence(&m, 3);
+        let mut total = 0;
+        let mut seen = WorldSet::empty(3);
+        for bits in 0..8u64 {
+            let world = w(bits, 3);
+            if !seen.contains(world) {
+                let class = c.class_of(world);
+                total += class.len();
+                seen = seen.union(&class);
+            }
+        }
+        assert_eq!(total, 8);
+        assert!(seen.is_full());
+    }
+}

@@ -1,0 +1,298 @@
+//! Database morphisms (Definitions 1.3.1, 1.4.1).
+//!
+//! A deterministic morphism `f : D₁ → D₂` is an assignment
+//! `Prop[D₂] → WF[D₁]` — *note the direction*: it tells each target atom
+//! how to read its value off a source database. Its extension
+//! `f′ : DB[D₁] → DB[D₂]` evaluates those formulas pointwise, and lifts to
+//! incomplete databases by direct image. A nondeterministic morphism is a
+//! set of deterministic ones; its extension `F̄` unions the images
+//! (Definition 1.4.1(c)).
+
+use pwdb_logic::{AtomId, Wff};
+
+use crate::worldset::WorldSet;
+use crate::World;
+
+/// A deterministic database morphism between schemata sharing an atom
+/// universe of `n_target` atoms; entry `i` is `f(A_{i+1}) ∈ WF[D₁]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Morphism {
+    assignments: Vec<Wff>,
+}
+
+impl Morphism {
+    /// Builds from the target-atom assignment list.
+    pub fn new(assignments: Vec<Wff>) -> Self {
+        Morphism { assignments }
+    }
+
+    /// The identity morphism on `n` atoms (`A_k ↦ A_k`).
+    pub fn identity(n: usize) -> Self {
+        Morphism {
+            assignments: (0..n as u32).map(Wff::atom).collect(),
+        }
+    }
+
+    /// Number of target atoms.
+    pub fn n_target_atoms(&self) -> usize {
+        self.assignments.len()
+    }
+
+    /// The formula assigned to a target atom.
+    pub fn assignment(&self, target: AtomId) -> &Wff {
+        &self.assignments[target.index()]
+    }
+
+    /// Replaces the assignment of one target atom, returning the modified
+    /// morphism (builder style).
+    pub fn with_assignment(mut self, target: AtomId, wff: Wff) -> Self {
+        self.assignments[target.index()] = wff;
+        self
+    }
+
+    /// `f′(s)`: evaluates each target atom's formula in the source world.
+    pub fn apply(&self, s: &World) -> World {
+        let n = self.assignments.len();
+        let mut out = World::all_false(n);
+        for (i, wff) in self.assignments.iter().enumerate() {
+            if wff.eval(s) {
+                out = out.with(AtomId(i as u32), true);
+            }
+        }
+        out
+    }
+
+    /// `f′(S)` on incomplete databases: the direct image.
+    pub fn apply_set(&self, s: &WorldSet) -> WorldSet {
+        let mut out = WorldSet::empty(self.n_target_atoms());
+        for w in s.iter() {
+            out.insert(self.apply(&w));
+        }
+        out
+    }
+
+    /// Composition `g ∘ f` (Definition 1.3.1): substitute `f`'s formulas
+    /// into `g`'s. Satisfies `(g ∘ f)′ = g′ ∘ f′` (Fact 1.3.2).
+    pub fn compose(g: &Morphism, f: &Morphism) -> Morphism {
+        Morphism {
+            assignments: g
+                .assignments
+                .iter()
+                .map(|w| w.substitute(&|a| f.assignments[a.index()].clone()))
+                .collect(),
+        }
+    }
+
+    /// The preimage congruence classes test: whether `f′` identifies the
+    /// two worlds (used to build mask congruences, §1.5).
+    pub fn identifies(&self, s1: &World, s2: &World) -> bool {
+        self.apply(s1) == self.apply(s2)
+    }
+
+    /// Whether the morphism is *correct* (§1.3.3's notion): `f′` carries
+    /// every legal database of the source schema to a legal database of
+    /// the target schema. The composition of correct morphisms is
+    /// correct (checked in the tests).
+    pub fn is_correct(&self, source: &crate::Schema, target: &crate::Schema) -> bool {
+        assert_eq!(self.n_target_atoms(), target.n_atoms());
+        source
+            .legal_worlds()
+            .iter()
+            .all(|s| target.is_legal(&self.apply(&s)))
+    }
+}
+
+/// A nondeterministic morphism: a non-empty set of deterministic ones
+/// (Definition 1.4.1(a)).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NdMorphism {
+    branches: Vec<Morphism>,
+}
+
+impl NdMorphism {
+    /// Builds from the branch set.
+    pub fn new(branches: Vec<Morphism>) -> Self {
+        assert!(!branches.is_empty(), "a nondeterministic morphism is a non-empty set");
+        NdMorphism { branches }
+    }
+
+    /// The embedding of a deterministic morphism (Definition 1.4.3).
+    pub fn deterministic(f: Morphism) -> Self {
+        NdMorphism { branches: vec![f] }
+    }
+
+    /// The branch morphisms.
+    pub fn branches(&self) -> &[Morphism] {
+        &self.branches
+    }
+
+    /// Number of branches.
+    pub fn len(&self) -> usize {
+        self.branches.len()
+    }
+
+    /// Always false (the constructor enforces non-emptiness); present for
+    /// API symmetry.
+    pub fn is_empty(&self) -> bool {
+        self.branches.is_empty()
+    }
+
+    /// `F′(s) = { f′(s) | f ∈ F }` (Definition 1.4.1(c)).
+    pub fn apply_world(&self, s: &World) -> WorldSet {
+        let n = self.branches[0].n_target_atoms();
+        let mut out = WorldSet::empty(n);
+        for f in &self.branches {
+            out.insert(f.apply(s));
+        }
+        out
+    }
+
+    /// `F̄(S) = ⋃ { F′(s) | s ∈ S }`.
+    pub fn apply_set(&self, s: &WorldSet) -> WorldSet {
+        let n = self.branches[0].n_target_atoms();
+        let mut out = WorldSet::empty(n);
+        for w in s.iter() {
+            for f in &self.branches {
+                out.insert(f.apply(&w));
+            }
+        }
+        out
+    }
+
+    /// Composition `G ∘ F = { g ∘ f | f ∈ F, g ∈ G }` (Definition
+    /// 1.4.1(b)); satisfies `(G ∘ F)′ = G′ ∘ F′` (Fact 1.4.2).
+    pub fn compose(g: &NdMorphism, f: &NdMorphism) -> NdMorphism {
+        let mut branches = Vec::with_capacity(g.branches.len() * f.branches.len());
+        for gf in &g.branches {
+            for ff in &f.branches {
+                branches.push(Morphism::compose(gf, ff));
+            }
+        }
+        NdMorphism { branches }
+    }
+}
+
+impl From<Morphism> for NdMorphism {
+    fn from(f: Morphism) -> Self {
+        NdMorphism::deterministic(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pwdb_logic::Assignment;
+
+    fn w(bits: u64, n: usize) -> World {
+        Assignment::from_bits(bits, n)
+    }
+
+    #[test]
+    fn identity_maps_world_to_itself() {
+        let f = Morphism::identity(3);
+        let s = w(0b101, 3);
+        assert_eq!(f.apply(&s), s);
+    }
+
+    #[test]
+    fn constant_assignment_forces_atom() {
+        // insert[A1]: A1 ↦ 1, others identity (Definition 1.3.3(a)).
+        let f = Morphism::identity(2).with_assignment(AtomId(0), Wff::True);
+        assert_eq!(f.apply(&w(0b00, 2)), w(0b01, 2));
+        assert_eq!(f.apply(&w(0b10, 2)), w(0b11, 2));
+    }
+
+    #[test]
+    fn apply_set_is_direct_image() {
+        let f = Morphism::identity(2).with_assignment(AtomId(0), Wff::True);
+        let s = WorldSet::full(2);
+        let img = f.apply_set(&s);
+        assert_eq!(img.len(), 2);
+        assert!(img.iter().all(|world| world.get(AtomId(0))));
+    }
+
+    #[test]
+    fn composition_fact_1_3_2() {
+        // f: A1 ↦ A2, A2 ↦ A1 (swap); g: A1 ↦ ¬A1, A2 ↦ A2.
+        let f = Morphism::new(vec![Wff::atom(1u32), Wff::atom(0u32)]);
+        let g = Morphism::new(vec![Wff::atom(0u32).not(), Wff::atom(1u32)]);
+        let gf = Morphism::compose(&g, &f);
+        for bits in 0..4u64 {
+            let s = w(bits, 2);
+            assert_eq!(gf.apply(&s), g.apply(&f.apply(&s)), "world {s}");
+        }
+    }
+
+    #[test]
+    fn identifies_detects_masking() {
+        // A1 ↦ 1 identifies worlds differing only in A1.
+        let f = Morphism::identity(2).with_assignment(AtomId(0), Wff::True);
+        assert!(f.identifies(&w(0b00, 2), &w(0b01, 2)));
+        assert!(!f.identifies(&w(0b00, 2), &w(0b10, 2)));
+    }
+
+    #[test]
+    fn nondeterministic_extension_unions_branches() {
+        // Insert A1∨A2 as the three branches of Discussion 1.4.6.
+        let b1 = Morphism::identity(2)
+            .with_assignment(AtomId(0), Wff::True)
+            .with_assignment(AtomId(1), Wff::True);
+        let b2 = Morphism::identity(2)
+            .with_assignment(AtomId(0), Wff::True)
+            .with_assignment(AtomId(1), Wff::False);
+        let b3 = Morphism::identity(2)
+            .with_assignment(AtomId(0), Wff::False)
+            .with_assignment(AtomId(1), Wff::True);
+        let nd = NdMorphism::new(vec![b1, b2, b3]);
+        let img = nd.apply_world(&w(0b00, 2));
+        assert_eq!(img.len(), 3);
+        assert!(!img.contains(w(0b00, 2)));
+        // On a set: same worlds from any starting point.
+        let img2 = nd.apply_set(&WorldSet::full(2));
+        assert_eq!(img2.len(), 3);
+    }
+
+    #[test]
+    fn nd_composition_fact_1_4_2() {
+        let f1 = Morphism::identity(2).with_assignment(AtomId(0), Wff::True);
+        let f2 = Morphism::identity(2).with_assignment(AtomId(0), Wff::False);
+        let g1 = Morphism::identity(2).with_assignment(AtomId(1), Wff::True);
+        let fs = NdMorphism::new(vec![f1, f2]);
+        let gs = NdMorphism::new(vec![g1]);
+        let comp = NdMorphism::compose(&gs, &fs);
+        let s = WorldSet::singleton(2, w(0b00, 2));
+        assert_eq!(comp.apply_set(&s), gs.apply_set(&fs.apply_set(&s)));
+    }
+
+    #[test]
+    fn correctness_checks_constraint_preservation() {
+        use crate::Schema;
+        let mut schema = Schema::with_atoms(2);
+        schema.add_constraints("{!A1 | A2}").unwrap(); // A1 → A2
+        // insert[A2] preserves A1→A2 (it can only make A2 true).
+        let ins_a2 = Morphism::identity(2).with_assignment(AtomId(1), Wff::True);
+        assert!(ins_a2.is_correct(&schema, &schema));
+        // delete[A2] can break it (a legal world with A1 becomes illegal).
+        let del_a2 = Morphism::identity(2).with_assignment(AtomId(1), Wff::False);
+        assert!(!del_a2.is_correct(&schema, &schema));
+        // Identity is always correct; composition of correct is correct.
+        let id = Morphism::identity(2);
+        assert!(id.is_correct(&schema, &schema));
+        let comp = Morphism::compose(&ins_a2, &ins_a2);
+        assert!(comp.is_correct(&schema, &schema));
+    }
+
+    #[test]
+    fn deterministic_embedding_is_singleton() {
+        let f = Morphism::identity(2);
+        let nd: NdMorphism = f.clone().into();
+        assert_eq!(nd.len(), 1);
+        assert_eq!(nd.branches()[0], f);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_nd_morphism_rejected() {
+        let _ = NdMorphism::new(vec![]);
+    }
+}

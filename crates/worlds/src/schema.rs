@@ -1,0 +1,150 @@
+//! Database schemata (Definition 1.2.1).
+//!
+//! A propositional database schema `D = (Prop[D], Con[D])` is a
+//! propositional logic together with a set of integrity constraints.
+//! A *database* for `D` is a structure; it is *legal* if it models
+//! `Con[D]`. `DB[D]` is the set of all databases, `LDB[D]` the legal ones,
+//! and `IDB[D]`/`ILDB[D]` their powersets (Definition 1.2.2).
+
+use pwdb_logic::{parse_clause_set, AtomTable, ClauseSet, LogicError, Result};
+
+use crate::worldset::WorldSet;
+use crate::World;
+
+/// Maximum number of proposition letters for which world sets are
+/// materialized (a [`WorldSet`] holds `2^n` bits).
+pub const MAX_SCHEMA_ATOMS: usize = 24;
+
+/// A propositional database schema: named atoms plus integrity
+/// constraints, kept in clausal form.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schema {
+    atoms: AtomTable,
+    constraints: ClauseSet,
+}
+
+impl Schema {
+    /// Schema with `n` atoms named `A1 … An` and no constraints.
+    pub fn with_atoms(n: usize) -> Self {
+        assert!(
+            n <= MAX_SCHEMA_ATOMS,
+            "at most {MAX_SCHEMA_ATOMS} atoms supported for possible-worlds schemata"
+        );
+        Schema {
+            atoms: AtomTable::with_indexed_atoms(n),
+            constraints: ClauseSet::new(),
+        }
+    }
+
+    /// Schema over an explicit atom table.
+    pub fn from_table(atoms: AtomTable) -> Self {
+        assert!(atoms.len() <= MAX_SCHEMA_ATOMS);
+        Schema {
+            atoms,
+            constraints: ClauseSet::new(),
+        }
+    }
+
+    /// Adds integrity constraints given in clause-set syntax; atom names
+    /// must already exist (constraints may not silently grow the schema).
+    pub fn add_constraints(&mut self, text: &str) -> Result<()> {
+        let before = self.atoms.len();
+        let parsed = parse_clause_set(text, &mut self.atoms)?;
+        if self.atoms.len() != before {
+            // Roll back is unnecessary: reject and keep interned names is
+            // unacceptable, so rebuild the table. Simplest correct move:
+            return Err(LogicError::UnknownAtom(format!(
+                "constraints introduced {} new atom(s)",
+                self.atoms.len() - before
+            )));
+        }
+        self.constraints.extend(parsed);
+        Ok(())
+    }
+
+    /// Adds pre-parsed constraints.
+    pub fn add_constraint_clauses(&mut self, clauses: ClauseSet) {
+        assert!(clauses.atom_bound() <= self.atoms.len());
+        self.constraints.extend(clauses);
+    }
+
+    /// `Prop[D]` as an interner.
+    pub fn atoms(&self) -> &AtomTable {
+        &self.atoms
+    }
+
+    /// Mutable access to the interner (for parsers building formulas over
+    /// the schema).
+    pub fn atoms_mut(&mut self) -> &mut AtomTable {
+        &mut self.atoms
+    }
+
+    /// Number of proposition letters.
+    pub fn n_atoms(&self) -> usize {
+        self.atoms.len()
+    }
+
+    /// `Con[D]` in clausal form.
+    pub fn constraints(&self) -> &ClauseSet {
+        &self.constraints
+    }
+
+    /// Whether a world is a *legal* database (`LDB[D]` membership).
+    pub fn is_legal(&self, world: &World) -> bool {
+        self.constraints.eval(world)
+    }
+
+    /// `DB[D]` as a world set: all structures.
+    pub fn all_worlds(&self) -> WorldSet {
+        WorldSet::full(self.n_atoms())
+    }
+
+    /// `LDB[D]` as a world set: all legal structures.
+    pub fn legal_worlds(&self) -> WorldSet {
+        WorldSet::from_clauses(self.n_atoms(), &self.constraints)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pwdb_logic::Assignment;
+
+    #[test]
+    fn unconstrained_schema_all_legal() {
+        let s = Schema::with_atoms(3);
+        assert_eq!(s.n_atoms(), 3);
+        assert_eq!(s.legal_worlds().len(), 8);
+        assert_eq!(s.all_worlds(), s.legal_worlds());
+    }
+
+    #[test]
+    fn constraints_filter_legal_worlds() {
+        let mut s = Schema::with_atoms(2);
+        s.add_constraints("{!A1 | A2}").unwrap(); // A1 -> A2
+        assert_eq!(s.legal_worlds().len(), 3);
+        assert!(s.is_legal(&Assignment::from_bits(0b11, 2)));
+        assert!(!s.is_legal(&Assignment::from_bits(0b01, 2)));
+    }
+
+    #[test]
+    fn constraints_must_use_existing_atoms() {
+        let mut s = Schema::with_atoms(2);
+        assert!(s.add_constraints("{A9}").is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "at most")]
+    fn rejects_oversized_schema() {
+        let _ = Schema::with_atoms(MAX_SCHEMA_ATOMS + 1);
+    }
+
+    #[test]
+    fn from_table_preserves_names() {
+        let mut t = AtomTable::new();
+        t.intern("rain");
+        t.intern("wet");
+        let s = Schema::from_table(t);
+        assert_eq!(s.atoms().name(pwdb_logic::AtomId(1)), Some("wet"));
+    }
+}

@@ -1,0 +1,159 @@
+//! Symbolwise nondeterministic morphisms (Definition 1.5.2) and the
+//! symbolwise presentation of `mask[P]` (Definition 1.5.3(a)).
+//!
+//! A symbolwise nondeterministic morphism assigns each target atom a
+//! *set* of formulas; the corresponding nondeterministic morphism is the
+//! set of all deterministic selections — a compact factored form whose
+//! branch count is the product of the per-atom choice counts. The paper
+//! uses it to define `mask[P]` ("`A_k ↦ {0, 1}` if `A_k ∈ P`, else
+//! `A_k`"), whose induced congruence is the simple mask `s-mask[P]`.
+
+use pwdb_logic::{AtomId, Wff};
+
+use crate::mask::Mask;
+use crate::morphism::{Morphism, NdMorphism};
+
+/// A symbolwise nondeterministic morphism: per target atom, a non-empty
+/// set of candidate formulas.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SymbolwiseMorphism {
+    choices: Vec<Vec<Wff>>,
+}
+
+impl SymbolwiseMorphism {
+    /// The symbolwise identity on `n` atoms.
+    pub fn identity(n: usize) -> Self {
+        SymbolwiseMorphism {
+            choices: (0..n as u32).map(|i| vec![Wff::atom(i)]).collect(),
+        }
+    }
+
+    /// Builds from explicit per-atom choice lists.
+    pub fn new(choices: Vec<Vec<Wff>>) -> Self {
+        assert!(
+            choices.iter().all(|c| !c.is_empty()),
+            "every atom needs at least one candidate formula"
+        );
+        SymbolwiseMorphism { choices }
+    }
+
+    /// Replaces one atom's choices (builder style).
+    pub fn with_choices(mut self, atom: AtomId, choices: Vec<Wff>) -> Self {
+        assert!(!choices.is_empty());
+        self.choices[atom.index()] = choices;
+        self
+    }
+
+    /// `mask[P]` (Definition 1.5.3(a)): masked atoms choose freely from
+    /// `{0, 1}`; the rest are fixed.
+    pub fn mask(n: usize, mask: &Mask) -> Self {
+        let mut m = Self::identity(n);
+        for &a in mask {
+            m = m.with_choices(a, vec![Wff::False, Wff::True]);
+        }
+        m
+    }
+
+    /// Number of target atoms.
+    pub fn n_target_atoms(&self) -> usize {
+        self.choices.len()
+    }
+
+    /// Number of deterministic branches of the expansion.
+    pub fn branch_count(&self) -> usize {
+        self.choices.iter().map(Vec::len).product()
+    }
+
+    /// The corresponding nondeterministic morphism: all deterministic
+    /// selections (`{ f | f(A) ∈ F(A) for all A }`).
+    pub fn expand(&self) -> NdMorphism {
+        let mut branches: Vec<Vec<Wff>> = vec![Vec::new()];
+        for per_atom in &self.choices {
+            let mut next = Vec::with_capacity(branches.len() * per_atom.len());
+            for partial in &branches {
+                for w in per_atom {
+                    let mut b = partial.clone();
+                    b.push(w.clone());
+                    next.push(b);
+                }
+            }
+            branches = next;
+        }
+        NdMorphism::new(branches.into_iter().map(Morphism::new).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mask::{congruence, simple_mask_congruence};
+    use crate::worldset::WorldSet;
+    use crate::World;
+
+    #[test]
+    fn identity_expansion_is_single_branch() {
+        let sw = SymbolwiseMorphism::identity(3);
+        assert_eq!(sw.branch_count(), 1);
+        let nd = sw.expand();
+        assert_eq!(nd.len(), 1);
+        let s = World::from_bits(0b101, 3);
+        assert_eq!(nd.branches()[0].apply(&s), s);
+    }
+
+    #[test]
+    fn mask_branch_count_is_exponential_in_mask() {
+        let mask: Mask = [AtomId(0), AtomId(2)].into_iter().collect();
+        let sw = SymbolwiseMorphism::mask(3, &mask);
+        assert_eq!(sw.branch_count(), 4);
+        assert_eq!(sw.expand().len(), 4);
+    }
+
+    #[test]
+    fn mask_morphism_saturates_like_worldset_mask() {
+        // F̄(X) for mask[P] must equal the bitset saturation.
+        let mask: Mask = [AtomId(1)].into_iter().collect();
+        let nd = SymbolwiseMorphism::mask(2, &mask).expand();
+        let x = WorldSet::singleton(2, World::from_bits(0b00, 2));
+        assert_eq!(nd.apply_set(&x), x.saturate(AtomId(1)));
+        // And on a bigger set.
+        let mut y = WorldSet::empty(2);
+        y.insert(World::from_bits(0b01, 2));
+        y.insert(World::from_bits(0b10, 2));
+        assert_eq!(nd.apply_set(&y), y.saturate(AtomId(1)));
+    }
+
+    #[test]
+    fn definition_1_5_3_mask_congruence_is_simple_mask() {
+        // The congruence induced by mask[P] equals s-mask[P] — the very
+        // definition of the simple mask (1.5.3(b)).
+        let mask: Mask = [AtomId(0), AtomId(2)].into_iter().collect();
+        let nd = SymbolwiseMorphism::mask(3, &mask).expand();
+        assert_eq!(congruence(&nd, 3), simple_mask_congruence(&mask, 3));
+    }
+
+    #[test]
+    fn empty_mask_gives_identity_congruence() {
+        let nd = SymbolwiseMorphism::mask(2, &Mask::new()).expand();
+        assert_eq!(congruence(&nd, 2).class_count(), 4);
+    }
+
+    #[test]
+    fn custom_choices_expand_cross_product() {
+        // A1 ↦ {1, A2}, A2 ↦ {A2}: two branches.
+        let sw = SymbolwiseMorphism::identity(2)
+            .with_choices(AtomId(0), vec![Wff::True, Wff::atom(1u32)]);
+        let nd = sw.expand();
+        assert_eq!(nd.len(), 2);
+        let s = World::from_bits(0b10, 2); // A2 true, A1 false
+        let images = nd.apply_world(&s);
+        // Branch 1: A1 ↦ 1 → (1,1); branch 2: A1 ↦ A2 → (1,1). Same image.
+        assert_eq!(images.len(), 1);
+        assert!(images.contains(World::from_bits(0b11, 2)));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one candidate")]
+    fn empty_choice_list_rejected() {
+        let _ = SymbolwiseMorphism::new(vec![vec![]]);
+    }
+}

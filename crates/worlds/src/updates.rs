@@ -1,0 +1,323 @@
+//! Update operations as database morphisms (Definitions 1.3.3, 1.3.4,
+//! 1.4.5).
+//!
+//! The deterministic forms act atom- or literal-wise; the nondeterministic
+//! forms decompose an arbitrary wff parameter through `Inset[Φ]`
+//! (see [`crate::inset()`](crate::inset())) into a set of deterministic branches.
+
+use pwdb_logic::{AtomId, Literal, Wff};
+
+use crate::inset::inset;
+use crate::morphism::{Morphism, NdMorphism};
+
+/// Error raised when a wff-level update cannot be expressed as a
+/// (non-empty) nondeterministic morphism.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UpdateError {
+    /// The update parameter is unsatisfiable: `Inset[Φ] = ∅`, so there is
+    /// no deterministic branch. (At the HLU level the same request simply
+    /// yields the empty set of possible worlds.)
+    UnsatisfiableParameter,
+    /// A literal set contained a complementary pair.
+    InconsistentLiterals,
+}
+
+impl std::fmt::Display for UpdateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            UpdateError::UnsatisfiableParameter => {
+                write!(f, "update parameter is unsatisfiable; Inset is empty")
+            }
+            UpdateError::InconsistentLiterals => {
+                write!(f, "update literal set contains a complementary pair")
+            }
+        }
+    }
+}
+
+impl std::error::Error for UpdateError {}
+
+/// `insert[A_i]` (Definition 1.3.3(a)): `A_i ↦ 1`, others fixed.
+pub fn insert_atom(n_atoms: usize, atom: AtomId) -> Morphism {
+    Morphism::identity(n_atoms).with_assignment(atom, Wff::True)
+}
+
+/// `delete[A_i]` (Definition 1.3.3(b)): `A_i ↦ 0`, others fixed.
+pub fn delete_atom(n_atoms: usize, atom: AtomId) -> Morphism {
+    Morphism::identity(n_atoms).with_assignment(atom, Wff::False)
+}
+
+/// `modify[A_i, A_j]` (Definition 1.3.3(c)): `A_i ↦ 0`,
+/// `A_j ↦ A_i ∨ A_j`, others fixed.
+///
+/// (The printed definition's third case reads `A_k ∨ A_k`; we read the
+/// evident intent `A_k`.)
+pub fn modify_atoms(n_atoms: usize, from: AtomId, to: AtomId) -> Morphism {
+    assert_ne!(from, to, "modify requires distinct atoms");
+    Morphism::identity(n_atoms)
+        .with_assignment(from, Wff::False)
+        .with_assignment(to, Wff::atom(from.0).or(Wff::atom(to.0)))
+}
+
+fn check_consistent(lits: &[Literal]) -> Result<(), UpdateError> {
+    if pwdb_logic::literal::literals_consistent(lits) {
+        Ok(())
+    } else {
+        Err(UpdateError::InconsistentLiterals)
+    }
+}
+
+/// `insert[Φ]` for a consistent set of literals (Definition 1.3.4(a)):
+/// atoms mentioned positively go to `1`, negatively to `0`, the rest are
+/// fixed.
+pub fn insert_literals(n_atoms: usize, lits: &[Literal]) -> Result<Morphism, UpdateError> {
+    check_consistent(lits)?;
+    let mut m = Morphism::identity(n_atoms);
+    for &l in lits {
+        m = m.with_assignment(
+            l.atom(),
+            if l.is_positive() { Wff::True } else { Wff::False },
+        );
+    }
+    Ok(m)
+}
+
+/// `modify[Φ₁, Φ₂]` for consistent literal sets (Definition 1.3.4(b)).
+///
+/// In worlds where all of `Φ₁` holds, the literals of `Φ₁` are deleted
+/// (their atoms flipped to the complementary value) and those of `Φ₂`
+/// inserted, with `Φ₂` taking precedence on shared atoms; in other worlds
+/// nothing changes. Specializes to Definition 1.3.3(c) on singletons.
+pub fn modify_literals(
+    n_atoms: usize,
+    from: &[Literal],
+    to: &[Literal],
+) -> Result<Morphism, UpdateError> {
+    check_consistent(from)?;
+    check_consistent(to)?;
+    let cond = Wff::conj(from.iter().map(|&l| Wff::literal(l)));
+    let mut m = Morphism::identity(n_atoms);
+    // Φ₂ sets its atoms outright (guarded by the condition).
+    for &l in to {
+        let target = if l.is_positive() { Wff::True } else { Wff::False };
+        m = m.with_assignment(l.atom(), guarded(cond.clone(), target, l.atom()));
+    }
+    // Φ₁ atoms not overridden by Φ₂ are flipped to the complement.
+    for &l in from {
+        if to.iter().any(|t| t.atom() == l.atom()) {
+            continue;
+        }
+        let target = if l.is_positive() { Wff::False } else { Wff::True };
+        m = m.with_assignment(l.atom(), guarded(cond.clone(), target, l.atom()));
+    }
+    Ok(m)
+}
+
+/// `if cond then target else A_k` as a wff.
+fn guarded(cond: Wff, target: Wff, atom: AtomId) -> Wff {
+    cond.clone()
+        .and(target)
+        .or(cond.not().and(Wff::atom(atom.0)))
+}
+
+/// `insert[Φ]` for an arbitrary wff (Definition 1.4.5(a)): one branch per
+/// member of `Inset[Φ]`.
+pub fn insert_wff(n_atoms: usize, wff: &Wff) -> Result<NdMorphism, UpdateError> {
+    let branches: Result<Vec<Morphism>, UpdateError> = inset(wff, n_atoms)
+        .iter()
+        .map(|lits| insert_literals(n_atoms, lits))
+        .collect();
+    let branches = branches?;
+    if branches.is_empty() {
+        return Err(UpdateError::UnsatisfiableParameter);
+    }
+    Ok(NdMorphism::new(branches))
+}
+
+/// `delete[Φ]` (Definition 1.4.5(b)): insertion of the negation.
+pub fn delete_wff(n_atoms: usize, wff: &Wff) -> Result<NdMorphism, UpdateError> {
+    insert_wff(n_atoms, &wff.clone().not())
+}
+
+/// `modify[Φ₁, Φ₂]` (Definition 1.4.5(c)): one branch per pair drawn from
+/// `Inset[Φ₁] × Inset[Φ₂]`.
+pub fn modify_wff(n_atoms: usize, from: &Wff, to: &Wff) -> Result<NdMorphism, UpdateError> {
+    let from_sets = inset(from, n_atoms);
+    let to_sets = inset(to, n_atoms);
+    if from_sets.is_empty() || to_sets.is_empty() {
+        return Err(UpdateError::UnsatisfiableParameter);
+    }
+    let mut branches = Vec::with_capacity(from_sets.len() * to_sets.len());
+    for f in &from_sets {
+        for t in &to_sets {
+            branches.push(modify_literals(n_atoms, f, t)?);
+        }
+    }
+    Ok(NdMorphism::new(branches))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::worldset::WorldSet;
+    use crate::World;
+    use pwdb_logic::{parse_wff, AtomTable};
+
+    fn w(bits: u64, n: usize) -> World {
+        World::from_bits(bits, n)
+    }
+
+    #[test]
+    fn insert_atom_forces_true() {
+        let m = insert_atom(2, AtomId(0));
+        assert_eq!(m.apply(&w(0b00, 2)), w(0b01, 2));
+        assert_eq!(m.apply(&w(0b11, 2)), w(0b11, 2));
+    }
+
+    #[test]
+    fn delete_atom_forces_false() {
+        let m = delete_atom(2, AtomId(1));
+        assert_eq!(m.apply(&w(0b11, 2)), w(0b01, 2));
+        assert_eq!(m.apply(&w(0b00, 2)), w(0b00, 2));
+    }
+
+    #[test]
+    fn modify_atoms_matches_definition() {
+        // modify[A1, A2]: closed-world tuple move.
+        let m = modify_atoms(2, AtomId(0), AtomId(1));
+        assert_eq!(m.apply(&w(0b01, 2)), w(0b10, 2)); // t present → moved
+        assert_eq!(m.apply(&w(0b00, 2)), w(0b00, 2)); // t absent → no-op
+        assert_eq!(m.apply(&w(0b10, 2)), w(0b10, 2)); // u already present
+        assert_eq!(m.apply(&w(0b11, 2)), w(0b10, 2)); // both → collapse to u
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct")]
+    fn modify_same_atom_panics() {
+        let _ = modify_atoms(2, AtomId(0), AtomId(0));
+    }
+
+    #[test]
+    fn insert_literals_mixed_polarity() {
+        let lits = [Literal::pos(AtomId(0)), Literal::neg(AtomId(2))];
+        let m = insert_literals(3, &lits).unwrap();
+        assert_eq!(m.apply(&w(0b110, 3)), w(0b011, 3));
+    }
+
+    #[test]
+    fn insert_literals_rejects_inconsistent() {
+        let lits = [Literal::pos(AtomId(0)), Literal::neg(AtomId(0))];
+        assert_eq!(
+            insert_literals(2, &lits).unwrap_err(),
+            UpdateError::InconsistentLiterals
+        );
+    }
+
+    #[test]
+    fn modify_literals_guarded_by_condition() {
+        // modify[{A1, A2}, {A3}].
+        let from = [Literal::pos(AtomId(0)), Literal::pos(AtomId(1))];
+        let to = [Literal::pos(AtomId(2))];
+        let m = modify_literals(3, &from, &to).unwrap();
+        // Condition holds: A1,A2 deleted, A3 inserted.
+        assert_eq!(m.apply(&w(0b011, 3)), w(0b100, 3));
+        // Condition fails: identity.
+        assert_eq!(m.apply(&w(0b001, 3)), w(0b001, 3));
+    }
+
+    #[test]
+    fn modify_literals_phi2_overrides_phi1() {
+        // modify[{A1}, {A1}]: A1 deleted then reinserted ⇒ stays true.
+        let from = [Literal::pos(AtomId(0))];
+        let to = [Literal::pos(AtomId(0))];
+        let m = modify_literals(1, &from, &to).unwrap();
+        assert_eq!(m.apply(&w(0b1, 1)), w(0b1, 1));
+    }
+
+    #[test]
+    fn modify_literals_specializes_to_1_3_3c() {
+        let pairwise = modify_atoms(2, AtomId(0), AtomId(1));
+        let general =
+            modify_literals(2, &[Literal::pos(AtomId(0))], &[Literal::pos(AtomId(1))]).unwrap();
+        for bits in 0..4u64 {
+            assert_eq!(general.apply(&w(bits, 2)), pairwise.apply(&w(bits, 2)));
+        }
+    }
+
+    #[test]
+    fn insert_wff_disjunction_three_branches() {
+        // Discussion 1.4.6: each world becomes three.
+        let mut t = AtomTable::with_indexed_atoms(2);
+        let phi = parse_wff("A1 | A2", &mut t).unwrap();
+        let nd = insert_wff(2, &phi).unwrap();
+        assert_eq!(nd.len(), 3);
+        let img = nd.apply_world(&w(0b00, 2));
+        assert_eq!(img.len(), 3);
+        assert!(!img.contains(w(0b00, 2)));
+        // Every resulting world satisfies the inserted formula.
+        assert!(img.iter().all(|world| phi.eval(&world)));
+    }
+
+    #[test]
+    fn insert_tautology_is_identity() {
+        // Remark 1.4.7: our semantics makes it the identity update.
+        let mut t = AtomTable::with_indexed_atoms(2);
+        let phi = parse_wff("A1 | !A1", &mut t).unwrap();
+        let nd = insert_wff(2, &phi).unwrap();
+        assert_eq!(nd.len(), 1);
+        let s = WorldSet::singleton(2, w(0b10, 2));
+        assert_eq!(nd.apply_set(&s), s);
+    }
+
+    #[test]
+    fn insert_contradiction_is_an_error() {
+        let mut t = AtomTable::with_indexed_atoms(1);
+        let phi = parse_wff("A1 & !A1", &mut t).unwrap();
+        assert_eq!(
+            insert_wff(1, &phi).unwrap_err(),
+            UpdateError::UnsatisfiableParameter
+        );
+    }
+
+    #[test]
+    fn delete_is_insert_of_negation() {
+        let mut t = AtomTable::with_indexed_atoms(2);
+        let phi = parse_wff("A1 & A2", &mut t).unwrap();
+        let del = delete_wff(2, &phi).unwrap();
+        let neg = insert_wff(2, &phi.clone().not()).unwrap();
+        let s = WorldSet::full(2);
+        assert_eq!(del.apply_set(&s), neg.apply_set(&s));
+        // After deleting A1∧A2 nothing satisfies it.
+        assert!(del.apply_set(&s).iter().all(|world| !phi.eval(&world)));
+    }
+
+    #[test]
+    fn modify_wff_cross_product_of_insets() {
+        let mut t = AtomTable::with_indexed_atoms(3);
+        let from = parse_wff("A1 | A2", &mut t).unwrap(); // 3 branches
+        let to = parse_wff("A3", &mut t).unwrap(); // 1 branch
+        let nd = modify_wff(3, &from, &to).unwrap();
+        assert_eq!(nd.len(), 3);
+    }
+
+    #[test]
+    fn modify_wff_rejects_unsat_side() {
+        let mut t = AtomTable::with_indexed_atoms(2);
+        let bad = parse_wff("A1 & !A1", &mut t).unwrap();
+        let ok = parse_wff("A2", &mut t).unwrap();
+        assert!(modify_wff(2, &bad, &ok).is_err());
+        assert!(modify_wff(2, &ok, &bad).is_err());
+    }
+
+    #[test]
+    fn insert_wff_on_set_monotone_in_information() {
+        // Inserting a satisfiable wff into the no-information state yields
+        // exactly its models restricted to the relevant atoms' patterns.
+        let mut t = AtomTable::with_indexed_atoms(2);
+        let phi = parse_wff("A1 -> A2", &mut t).unwrap();
+        let nd = insert_wff(2, &phi).unwrap();
+        let img = nd.apply_set(&WorldSet::full(2));
+        assert!(img.iter().all(|world| phi.eval(&world)));
+        assert_eq!(img, WorldSet::from_wff(2, &phi));
+    }
+}

@@ -1,0 +1,82 @@
+//! Transactions, integrity constraints, and uncertainty accounting —
+//! the database-engineering surface of the library on a procurement
+//! scenario.
+//!
+//! Run with `cargo run --example audit_trail`.
+//!
+//! A purchasing system tracks four flags per order: `ordered`, `paid`,
+//! `shipped`, `flagged`. Business rules: shipping requires payment, and
+//! payment requires an order. Updates arrive in transactions that must
+//! keep the state consistent (the §1.3.3 rejection discipline); the
+//! auditor watches `world_count` — the number of possible worlds — shrink
+//! as evidence accumulates.
+
+use pwdb::hlu::{HluProgram, InstanceDatabase};
+use pwdb::prelude::*;
+
+fn main() {
+    let mut atoms = AtomTable::new();
+    for name in ["ordered", "paid", "shipped", "flagged"] {
+        atoms.intern(name);
+    }
+    let n = atoms.len();
+    let wff = |text: &str, atoms: &mut AtomTable| parse_wff(text, atoms).unwrap();
+
+    // Business rules as integrity constraints (enforced after every
+    // update by world elimination, §1.3.3).
+    let rules = wff("(shipped -> paid) & (paid -> ordered)", &mut atoms);
+    let mut db = InstanceDatabase::with_atoms(n).with_constraints(rules);
+    println!(
+        "fresh ledger: {} possible world(s) under the business rules",
+        db.world_count(n)
+    );
+
+    // Evidence 1: the order exists.
+    db.insert(wff("ordered", &mut atoms));
+    println!("after insert(ordered):      {} worlds", db.world_count(n));
+
+    // Evidence 2, transactional: a shipment notice arrives, but the
+    // operator bundles it with a bogus "not paid" assertion — the
+    // transaction would make shipping unpaid, violating the rules, so the
+    // whole bundle rolls back.
+    let committed = db.transaction(|tx| {
+        tx.insert(wff("shipped", &mut atoms));
+        tx.assert_wff(wff("!paid", &mut atoms));
+        true
+    });
+    println!(
+        "bundled (shipped, !paid):   committed = {committed}, {} worlds (rolled back)",
+        db.world_count(n)
+    );
+    assert!(!committed);
+
+    // The shipment alone is fine — and the rules *propagate*: shipped
+    // forces paid forces ordered.
+    db.run_rejecting(&HluProgram::Insert(wff("shipped", &mut atoms)))
+        .expect("consistent update");
+    println!("after insert(shipped):      {} worlds", db.world_count(n));
+    assert!(db.is_certain(&wff("paid & ordered", &mut atoms)));
+
+    // A direct contradiction is rejected outright.
+    let err = db.run_rejecting(&HluProgram::Assert(wff("!ordered", &mut atoms)));
+    println!("assert(!ordered):           rejected = {}", err.is_err());
+    assert!(err.is_err());
+
+    // The fraud flag stays genuinely unknown until someone decides.
+    let flagged = wff("flagged", &mut atoms);
+    assert!(db.is_possible(&flagged) && !db.is_certain(&flagged));
+    println!(
+        "final: {} worlds; flagged possible={}, certain={}",
+        db.world_count(n),
+        db.is_possible(&flagged),
+        db.is_certain(&flagged)
+    );
+
+    // Cross-check the whole run on the clausal engine.
+    let mut clausal = pwdb::hlu::ClausalDatabase::new()
+        .with_constraints(wff("(shipped -> paid) & (paid -> ordered)", &mut atoms));
+    clausal.insert(wff("ordered", &mut atoms));
+    clausal.insert(wff("shipped", &mut atoms));
+    assert_eq!(clausal.world_count(n), db.world_count(n));
+    println!("clausal engine agrees: {} worlds", clausal.world_count(n));
+}

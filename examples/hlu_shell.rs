@@ -1,0 +1,124 @@
+//! An interactive HLU shell over the clausal database.
+//!
+//! Run with `cargo run --example hlu_shell` and type commands, or pipe a
+//! script: `echo '(insert {a | b})\n?certain a | b' | cargo run --example
+//! hlu_shell`. With no piped input and no commands, a short demo session
+//! is replayed.
+//!
+//! Commands:
+//!
+//! ```text
+//! (insert {...}) / (delete {...}) / (assert {...}) / (modify {..} {..})
+//! (clear [a b]) / (where {...} (..) (..))      any HLU program
+//! ?certain <wff>        is the wff true in every possible world?
+//! ?possible <wff>       in some world?
+//! ?count                number of possible worlds
+//! :state                print the clause-set state
+//! :atoms                print the interned vocabulary
+//! :quit
+//! ```
+
+use std::io::{BufRead, IsTerminal, Write};
+
+use pwdb::prelude::*;
+
+fn main() {
+    let stdin = std::io::stdin();
+    let interactive = stdin.is_terminal();
+
+    let mut atoms = AtomTable::new();
+    let mut db = ClausalDatabase::new();
+
+    let demo = [
+        "(insert {rain | snow})",
+        "?certain rain | snow",
+        "?possible rain",
+        "(insert {!rain})",
+        "?certain snow",
+        "?count",
+        "(where {snow} (insert {plows}))",
+        "?certain snow -> plows",
+        ":state",
+    ];
+
+    let mut lines: Box<dyn Iterator<Item = String>> = if interactive {
+        println!("pwdb HLU shell — :quit to exit, ?certain/?possible/<hlu program>");
+        Box::new(stdin.lock().lines().map_while(Result::ok))
+    } else {
+        let piped: Vec<String> = stdin.lock().lines().map_while(Result::ok).collect();
+        if piped.is_empty() || piped.iter().all(|l| l.trim().is_empty()) {
+            println!("(no input; replaying the demo script)");
+            Box::new(demo.iter().map(|s| s.to_string()))
+        } else {
+            Box::new(piped.into_iter())
+        }
+    };
+
+    loop {
+        if interactive {
+            print!("pwdb> ");
+            std::io::stdout().flush().ok();
+        }
+        let Some(line) = lines.next() else { break };
+        let line = line.trim().to_owned();
+        if line.is_empty() {
+            continue;
+        }
+        if !interactive {
+            println!("pwdb> {line}");
+        }
+        match execute(&line, &mut db, &mut atoms) {
+            Ok(Reply::Quit) => break,
+            Ok(Reply::Text(t)) => println!("{t}"),
+            Err(e) => println!("error: {e}"),
+        }
+    }
+}
+
+enum Reply {
+    Text(String),
+    Quit,
+}
+
+fn execute(
+    line: &str,
+    db: &mut ClausalDatabase,
+    atoms: &mut AtomTable,
+) -> Result<Reply, String> {
+    if line == ":quit" || line == ":q" {
+        return Ok(Reply::Quit);
+    }
+    if line == ":state" {
+        let state = db.state();
+        return Ok(Reply::Text(format!(
+            "{} clause(s): {}",
+            state.len(),
+            state.display(atoms)
+        )));
+    }
+    if line == ":atoms" {
+        let names: Vec<&str> = atoms.iter().map(|(_, n)| n).collect();
+        return Ok(Reply::Text(format!("{names:?}")));
+    }
+    if let Some(q) = line.strip_prefix("?certain ") {
+        let w = parse_wff(q, atoms).map_err(|e| e.to_string())?;
+        return Ok(Reply::Text(format!("{}", db.is_certain(&w))));
+    }
+    if let Some(q) = line.strip_prefix("?possible ") {
+        let w = parse_wff(q, atoms).map_err(|e| e.to_string())?;
+        return Ok(Reply::Text(format!("{}", db.is_possible(&w))));
+    }
+    if line == "?count" {
+        return Ok(Reply::Text(format!(
+            "{} possible world(s) over {} atom(s)",
+            db.world_count(atoms.len()),
+            atoms.len()
+        )));
+    }
+    if line.starts_with('(') {
+        let prog = parse_hlu(line, atoms).map_err(|e| e.to_string())?;
+        db.run(&prog);
+        return Ok(Reply::Text(format!("ok ({} update(s) run)", db.updates_run())));
+    }
+    Err(format!("unrecognized command: {line}"))
+}

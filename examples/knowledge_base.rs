@@ -1,0 +1,84 @@
+//! A diagnostic knowledge base driven by an HLU script — the paper's
+//! language as a user would actually employ it.
+//!
+//! Run with `cargo run --example knowledge_base`.
+//!
+//! A help-desk triage system tracks hypotheses about a machine. New
+//! evidence arrives as HLU programs (parsed from text), including nested
+//! `where` conditionals; the operator asks certainty/possibility queries
+//! in between. Both BLU backends run the same script and must agree.
+
+use pwdb::hlu::parser::parse_hlu_script;
+use pwdb::prelude::*;
+
+fn main() {
+    let mut atoms = AtomTable::new();
+
+    // Seed the vocabulary in a stable order.
+    for name in [
+        "power_ok",
+        "disk_ok",
+        "net_ok",
+        "boots",
+        "alarm",
+        "escalate",
+    ] {
+        atoms.intern(name);
+    }
+
+    // Domain rules arrive first as assertions (monotone knowledge).
+    // Then the evidence trickles in as updates.
+    let script_text = r"
+        (assert {boots -> power_ok})
+        (assert {boots -> disk_ok})
+        (insert {power_ok})
+        (insert {disk_ok | net_ok})
+        (where {!boots}
+            (insert {alarm})
+            (delete {alarm}))
+        (where {alarm}
+            (insert {escalate}))
+    ";
+    let script = parse_hlu_script(script_text, &mut atoms).unwrap();
+    println!("parsed {} HLU programs", script.len());
+
+    let n = atoms.len();
+    let mut clausal = ClausalDatabase::new();
+    let mut instance = InstanceDatabase::with_atoms(n);
+
+    for prog in &script {
+        println!("  run {}", prog.display(&atoms));
+        clausal.run(prog);
+        instance.run(prog);
+    }
+
+    let q = |text: &str, atoms: &mut AtomTable| {
+        let w = parse_wff(text, atoms).unwrap();
+        let certain = clausal.is_certain(&w);
+        let possible = clausal.is_possible(&w);
+        // The instance backend is the semantic reference: must agree.
+        assert_eq!(certain, instance.is_certain(&w), "certainty mismatch on {text}");
+        assert_eq!(
+            possible,
+            instance.is_possible(&w),
+            "possibility mismatch on {text}"
+        );
+        println!("  {text:28} certain={certain:5}  possible={possible:5}");
+    };
+
+    println!("\n-- triage queries (clausal backend, cross-checked) --");
+    q("power_ok", &mut atoms);
+    q("disk_ok | net_ok", &mut atoms);
+    q("boots", &mut atoms);
+    q("!boots -> alarm", &mut atoms);
+    q("alarm -> escalate", &mut atoms);
+    q("escalate", &mut atoms);
+
+    println!(
+        "\n{} possible worlds remain over {} atoms; states agree across backends",
+        instance.state().len(),
+        n
+    );
+    let clauses = clausal.state();
+    println!("clausal state ({} clauses): {}", clauses.len(), clauses.display(&atoms));
+}

@@ -1,0 +1,122 @@
+//! The paper's §5 motivating example, end to end: "Jones has a new
+//! telephone number."
+//!
+//! Run with `cargo run --example personnel_phone`.
+//!
+//! Contrasts the two routes the paper discusses:
+//!
+//! 1. the **grounded propositional** route — the update is the huge
+//!    disjunction `⋁ { R(Jones, JD, t) | t ∈ T }`, and the user must know
+//!    Jones' department to write it;
+//! 2. the **null-store** route of §5.2 — one internal constant of type
+//!    `τ_telno`, department discovered by the `where` binding.
+
+use pwdb::relational::{
+    update::{execute_where_insert, ArgSpec},
+    Condition, ExtendedInsert, NullStore, RelSchema, SymRef, TypeAlgebra, TypeExpr,
+};
+
+fn main() {
+    // Schema R[N D T]: name, department, telephone.
+    let mut algebra = TypeAlgebra::new();
+    let person = algebra.add_type("person", &["jones", "smith"]);
+    let dept = algebra.add_type("dept", &["sales", "hr"]);
+    let telno = algebra.add_type("telno", &["t1", "t2", "t3", "t4"]);
+    let mut schema = RelSchema::new(algebra);
+    let r = schema.add_relation("R", vec![person, dept, telno]);
+
+    let a = schema.algebra();
+    let jones = a.constant("jones").unwrap();
+    let smith = a.constant("smith").unwrap();
+    let sales = a.constant("sales").unwrap();
+    let hr = a.constant("hr").unwrap();
+    let t1 = a.constant("t1").unwrap();
+    let t2 = a.constant("t2").unwrap();
+
+    // Current state: Jones in sales with phone t1, Smith in hr with t2.
+    let mut store = NullStore::new();
+    store.add_fact(
+        r,
+        vec![
+            SymRef::External(jones),
+            SymRef::External(sales),
+            SymRef::External(t1),
+        ],
+    );
+    store.add_fact(
+        r,
+        vec![
+            SymRef::External(smith),
+            SymRef::External(hr),
+            SymRef::External(t2),
+        ],
+    );
+
+    let ground = schema.ground();
+    println!("schema grounds to {} fact atoms", ground.n_atoms());
+    println!(
+        "initial store: {} facts, {} possible world(s)",
+        store.facts().len(),
+        store.worlds(&schema, &ground).len()
+    );
+
+    // Route 1: the grounded disjunction (requires knowing JD = sales!).
+    let disj = pwdb::relational::grounded_some_value_wff(
+        &schema,
+        &ground,
+        r,
+        &[Some(jones), Some(sales), None],
+    );
+    println!(
+        "\nroute 1 (grounded): insert wff has size {} — one disjunct per phone\n  {}",
+        disj.size(),
+        disj.display(ground.table())
+    );
+
+    // Route 2: the extended where/insert of §5.2. The user writes the
+    // paper's
+    //   (where ((Jones = x) (y ∈ τ_u)) (insert ((∃w ∈ τ_telno) (R x y w))))
+    // — no department mentioned.
+    let telno_expr = TypeExpr::Base(schema.algebra().type_id("telno").unwrap());
+    let insert = ExtendedInsert {
+        rel: r,
+        args: vec![
+            ArgSpec::Var("x".into()),
+            ArgSpec::Var("y".into()),
+            ArgSpec::Exists(telno_expr),
+        ],
+    };
+    let conditions = vec![
+        Condition::Eq("x".into(), jones),
+        Condition::InType("y".into(), TypeExpr::Universe),
+    ];
+    let applied = execute_where_insert(&mut store, &schema, &insert, &conditions);
+    println!("\nroute 2 (null store): applied {applied} binding(s)");
+    println!(
+        "  store now has {} facts and {} active null(s)",
+        store.facts().len(),
+        store.dictionary().n_internal()
+    );
+
+    let worlds = store.worlds(&schema, &ground);
+    println!("  possible worlds after update: {}", worlds.len());
+    for (i, w) in worlds.iter().enumerate() {
+        let facts: Vec<String> = (0..ground.n_atoms())
+            .filter(|&i| w.get(pwdb::logic::AtomId(i as u32)))
+            .map(|i| {
+                ground
+                    .table()
+                    .name(pwdb::logic::AtomId(i as u32))
+                    .unwrap()
+                    .to_owned()
+            })
+            .collect();
+        println!("    world {}: {}", i + 1, facts.join(", "));
+    }
+
+    // Smith's record is untouched in every world; Jones' phone is open.
+    let smith_atom = ground.atom(r, &[smith, hr, t2]).unwrap();
+    assert!(worlds.iter().all(|w| w.get(smith_atom)));
+    assert_eq!(worlds.len(), 4, "one world per telephone number");
+    println!("\nSmith's record invariant across worlds; Jones' phone unknown: OK");
+}

@@ -1,0 +1,78 @@
+//! Quickstart: an incomplete-information database driven by HLU.
+//!
+//! Run with `cargo run --example quickstart`.
+//!
+//! Shows the basic lifecycle — insert, query, revise, mask, and the
+//! `where` conditional — on the clausal (BLU-C) backend, cross-checked
+//! against the possible-worlds (BLU-I) backend.
+
+use pwdb::prelude::*;
+
+fn main() {
+    let mut atoms = AtomTable::new();
+    let wff = |text: &str, atoms: &mut AtomTable| parse_wff(text, atoms).unwrap();
+
+    // The clausal database: the representation the paper deems
+    // practicable (states are clause sets, updates run resolution).
+    let mut db = ClausalDatabase::new();
+
+    println!("-- a tiny weather knowledge base --");
+
+    // Partial knowledge: it rains or it snows.
+    let rain_or_snow = wff("rain | snow", &mut atoms);
+    db.insert(rain_or_snow.clone());
+    println!("inserted: rain | snow");
+    println!("  certain(rain | snow) = {}", db.is_certain(&rain_or_snow));
+    let rain = wff("rain", &mut atoms);
+    println!("  certain(rain)        = {}", db.is_certain(&rain));
+    println!("  possible(rain)       = {}", db.is_possible(&rain));
+
+    // Revision — the mask–assert paradigm. Inserting ¬rain first forgets
+    // everything that *depends on* rain, then asserts; no inconsistency.
+    let not_rain = wff("!rain", &mut atoms);
+    db.insert(not_rain.clone());
+    println!("\ninserted: !rain (revision, no contradiction)");
+    println!("  consistent           = {}", db.is_consistent());
+    println!("  certain(!rain)       = {}", db.is_certain(&not_rain));
+    let snow = wff("snow", &mut atoms);
+    // Note: rain|snow was *forgotten* by the mask (it depended on rain).
+    println!("  certain(snow)        = {}", db.is_certain(&snow));
+
+    // Conditional update: where it snows, plows are out; where it
+    // doesn't, they are not.
+    let program = parse_hlu(
+        "(where {snow} (insert {plows}) (delete {plows}))",
+        &mut atoms,
+    )
+    .unwrap();
+    db.run(&program);
+    println!("\nran: {}", program.display(&atoms));
+    let q1 = wff("snow -> plows", &mut atoms);
+    let q2 = wff("!snow -> !plows", &mut atoms);
+    println!("  certain(snow -> plows)   = {}", db.is_certain(&q1));
+    println!("  certain(!snow -> !plows) = {}", db.is_certain(&q2));
+
+    // Masking (the `clear` form): deliberately forget about plows.
+    let plows_atom = atoms.lookup("plows").unwrap();
+    db.clear([plows_atom]);
+    let plows = wff("plows", &mut atoms);
+    println!("\ncleared [plows]");
+    println!("  certain(snow -> plows) = {}", db.is_certain(&q1));
+    println!("  possible(plows)        = {}", db.is_possible(&plows));
+
+    // The instance backend gives the same answers — Theorems 2.3.4/6/9.
+    let n = atoms.len();
+    let mut reference = InstanceDatabase::with_atoms(n);
+    reference.insert(rain_or_snow);
+    reference.insert(not_rain.clone());
+    reference.run(&program);
+    reference.clear([plows_atom]);
+    assert_eq!(db.is_certain(&not_rain), reference.is_certain(&not_rain));
+    assert_eq!(db.is_certain(&q1), reference.is_certain(&q1));
+    println!("\ncross-check against the possible-worlds backend: OK");
+    println!(
+        "  ({} possible worlds over {} atoms)",
+        reference.state().len(),
+        n
+    );
+}

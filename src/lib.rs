@@ -1,0 +1,7 @@
+//! `pwdb-suite`: the workspace-level integration crate.
+//!
+//! This crate exists to host the cross-crate integration tests in
+//! `tests/` and the runnable examples in `examples/`; the library proper
+//! is the [`pwdb`] umbrella crate (re-exported here for convenience).
+
+pub use pwdb;

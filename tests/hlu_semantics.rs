@@ -1,0 +1,247 @@
+//! Cross-backend and cross-definition semantics tests for HLU:
+//! the clausal database must agree with the possible-worlds database on
+//! arbitrary scripts, and the HLU translations must agree with the
+//! morphism-level update definitions of §1.3–1.4 where the paper claims
+//! they do (Theorem 3.1.4).
+
+use proptest::prelude::*;
+
+use pwdb::hlu::{ClausalDatabase, HluProgram, InstanceDatabase};
+use pwdb::logic::{AtomId, Wff};
+use pwdb::worlds::{delete_wff, insert_wff, WorldSet};
+
+const N: usize = 4;
+
+fn arb_wff(depth: u32) -> impl Strategy<Value = Wff> {
+    let leaf = prop_oneof![
+        (0..N as u32).prop_map(Wff::atom),
+        (0..N as u32).prop_map(|a| Wff::atom(a).not()),
+    ];
+    leaf.prop_recursive(depth, 16, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.and(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.or(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.implies(b)),
+            (inner.clone(), inner).prop_map(|(a, b)| a.iff(b)),
+        ]
+    })
+}
+
+fn arb_program() -> impl Strategy<Value = HluProgram> {
+    let simple = prop_oneof![
+        arb_wff(2).prop_map(HluProgram::Assert),
+        arb_wff(2).prop_map(HluProgram::Insert),
+        arb_wff(2).prop_map(HluProgram::Delete),
+        (arb_wff(1), arb_wff(1)).prop_map(|(a, b)| HluProgram::Modify(a, b)),
+        proptest::collection::btree_set(0..N as u32, 0..=2)
+            .prop_map(|s| HluProgram::Clear(s.into_iter().map(AtomId).collect())),
+    ];
+    // Allow one level of `where`.
+    (simple.clone(), proptest::option::of((arb_wff(1), simple)))
+        .prop_map(|(base, wrap)| match wrap {
+            None => base,
+            Some((cond, inner)) => HluProgram::where2(cond, inner, base),
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The central soundness property: the clausal implementation of any
+    /// HLU script denotes exactly the same set of possible worlds as the
+    /// instance implementation.
+    #[test]
+    fn backends_agree_on_scripts(script in proptest::collection::vec(arb_program(), 1..=4)) {
+        let mut clausal = ClausalDatabase::new();
+        let mut instance = InstanceDatabase::with_atoms(N);
+        for prog in &script {
+            clausal.run(prog);
+            instance.run(prog);
+            prop_assert_eq!(
+                &WorldSet::from_clauses(N, clausal.state()),
+                instance.state(),
+                "diverged after {}",
+                prog
+            );
+        }
+    }
+
+    /// HLU insert agrees with the nondeterministic morphism insert[Φ] of
+    /// Definition 1.4.5(a) on arbitrary states and satisfiable formulas.
+    #[test]
+    fn hlu_insert_matches_morphism_insert(
+        state_wff in arb_wff(2),
+        param in arb_wff(2),
+    ) {
+        let start = WorldSet::from_wff(N, &state_wff);
+        prop_assume!(!WorldSet::from_wff(N, &param).is_empty());
+
+        let mut db = InstanceDatabase::with_atoms(N);
+        db.set_state(start.clone());
+        db.run(&HluProgram::Insert(param.clone()));
+
+        let nd = insert_wff(N, &param).expect("satisfiable");
+        let via_morphism = nd.apply_set(&start);
+        prop_assert_eq!(db.state(), &via_morphism);
+    }
+
+    /// Likewise for delete (Definition 1.4.5(b)), when the negation is
+    /// satisfiable.
+    #[test]
+    fn hlu_delete_matches_morphism_delete(
+        state_wff in arb_wff(2),
+        param in arb_wff(2),
+    ) {
+        let start = WorldSet::from_wff(N, &state_wff);
+        prop_assume!(!WorldSet::from_wff(N, &param.clone().not()).is_empty());
+
+        let mut db = InstanceDatabase::with_atoms(N);
+        db.set_state(start.clone());
+        db.run(&HluProgram::Delete(param.clone()));
+
+        let nd = delete_wff(N, &param).expect("negation satisfiable");
+        prop_assert_eq!(db.state(), &nd.apply_set(&start));
+    }
+
+    /// Insert establishes its parameter (when satisfiable): afterwards the
+    /// parameter is certain.
+    #[test]
+    fn insert_establishes_parameter(state_wff in arb_wff(2), param in arb_wff(2)) {
+        prop_assume!(!WorldSet::from_wff(N, &param).is_empty());
+        let mut db = InstanceDatabase::with_atoms(N);
+        db.set_state(WorldSet::from_wff(N, &state_wff));
+        db.run(&HluProgram::Insert(param.clone()));
+        prop_assert!(db.is_certain(&param));
+    }
+
+    /// Delete refutes its parameter (when refutable).
+    #[test]
+    fn delete_refutes_parameter(state_wff in arb_wff(2), param in arb_wff(2)) {
+        prop_assume!(!WorldSet::from_wff(N, &param.clone().not()).is_empty());
+        let mut db = InstanceDatabase::with_atoms(N);
+        db.set_state(WorldSet::from_wff(N, &state_wff));
+        db.run(&HluProgram::Delete(param.clone()));
+        prop_assert!(db.is_certain(&param.not()));
+    }
+
+    /// Insert never empties a non-empty state (unlike assert): the mask
+    /// step guarantees consistency is preserved for satisfiable inserts.
+    #[test]
+    fn insert_preserves_consistency(state_wff in arb_wff(2), param in arb_wff(2)) {
+        prop_assume!(!WorldSet::from_wff(N, &param).is_empty());
+        let mut db = InstanceDatabase::with_atoms(N);
+        db.set_state(WorldSet::from_wff(N, &state_wff));
+        prop_assume!(db.is_consistent());
+        db.run(&HluProgram::Insert(param));
+        prop_assert!(db.is_consistent());
+    }
+
+    /// The where-split is a partition: (where W P Q) on S equals
+    /// P(S ∩ pw(W)) ∪ Q(S \ pw(W)).
+    #[test]
+    fn where_is_a_partitioned_update(
+        state_wff in arb_wff(2),
+        cond in arb_wff(2),
+        param in arb_wff(1),
+    ) {
+        let start = WorldSet::from_wff(N, &state_wff);
+        let cond_worlds = WorldSet::from_wff(N, &cond);
+
+        let mut whole = InstanceDatabase::with_atoms(N);
+        whole.set_state(start.clone());
+        whole.run(&HluProgram::where2(
+            cond.clone(),
+            HluProgram::Insert(param.clone()),
+            HluProgram::Delete(param.clone()),
+        ));
+
+        // By hand: run insert on the intersection, delete on the rest.
+        let mut then_db = InstanceDatabase::with_atoms(N);
+        then_db.set_state(start.intersect(&cond_worlds));
+        then_db.run(&HluProgram::Insert(param.clone()));
+        let mut else_db = InstanceDatabase::with_atoms(N);
+        else_db.set_state(start.difference(&cond_worlds));
+        else_db.run(&HluProgram::Delete(param));
+
+        prop_assert_eq!(whole.state(), &then_db.state().union(else_db.state()));
+    }
+
+    /// `clear` leaves certainty about unmasked atoms intact.
+    #[test]
+    fn clear_preserves_unmasked_knowledge(a in 0..N as u32, b in 0..N as u32) {
+        prop_assume!(a != b);
+        let mut db = ClausalDatabase::new();
+        db.insert(Wff::atom(a).and(Wff::atom(b)));
+        db.clear([AtomId(a)]);
+        prop_assert!(!db.is_certain(&Wff::atom(a)));
+        prop_assert!(db.is_certain(&Wff::atom(b)));
+    }
+}
+
+fn subset_state(state_bits: u64) -> WorldSet {
+    let mut s = WorldSet::empty(N);
+    for b in 0..(1u64 << N) {
+        if b & state_bits == b {
+            s.insert(pwdb::worlds::World::from_bits(b, N));
+        }
+    }
+    s
+}
+
+/// Theorem 3.1.4 on single-literal parameters: HLU-modify equals the
+/// morphism modify[Φ₁,Φ₂] of Definitions 1.3.3(c)/1.4.5(c).
+#[test]
+fn theorem_3_1_4_modify_single_literals() {
+    use pwdb::worlds::modify_wff;
+    let cases = [
+        (Wff::atom(0u32), Wff::atom(1u32)),
+        (Wff::atom(0u32).not(), Wff::atom(1u32)),
+        (Wff::atom(3u32), Wff::atom(0u32).not()),
+        (Wff::atom(2u32).not(), Wff::atom(3u32).not()),
+    ];
+    for (from, to) in cases {
+        for state_bits in [0u64, 3, 7, 10, 15] {
+            let start = subset_state(state_bits);
+            let mut db = InstanceDatabase::with_atoms(N);
+            db.set_state(start.clone());
+            db.run(&HluProgram::Modify(from.clone(), to.clone()));
+            let nd = modify_wff(N, &from, &to).expect("satisfiable literals");
+            assert_eq!(
+                db.state(),
+                &nd.apply_set(&start),
+                "modify({from}, {to}) diverged on state mask {state_bits}"
+            );
+        }
+    }
+}
+
+/// Faithfulness finding (documented in DESIGN.md/EXPERIMENTS.md): on
+/// MULTI-literal conjunctions the two printed definitions genuinely
+/// differ. `modify[{A1,A2},{A3}]` flips each condition literal
+/// individually (Definition 1.3.4(b): the world where A1∧A2 held gets
+/// A1=0 ∧ A2=0), while the HLU translation (Definition 3.1.2) *deletes*
+/// the formula — asserting ¬(A1∧A2), i.e. "at least one false" — which
+/// keeps strictly more worlds. The theorem's "logical equivalence" holds
+/// only for the single-literal case pinned above.
+#[test]
+fn theorem_3_1_4_divergence_on_conjunctions() {
+    use pwdb::worlds::modify_wff;
+    let from = Wff::atom(0u32).and(Wff::atom(1u32));
+    let to = Wff::atom(2u32);
+    // Worlds with A3 = A4 = 0 and A1, A2 free.
+    let start = subset_state(0b0011);
+    let mut db = InstanceDatabase::with_atoms(N);
+    db.set_state(start.clone());
+    db.run(&HluProgram::Modify(from.clone(), to.clone()));
+    let via_hlu = db.state().clone();
+    let via_morphism = modify_wff(N, &from, &to).unwrap().apply_set(&start);
+    assert_ne!(via_hlu, via_morphism, "the divergence is real");
+    // The morphism result is the sharper one and is contained in HLU's.
+    assert!(via_morphism.is_subset(&via_hlu));
+    assert_eq!(via_morphism.len(), 4);
+    assert_eq!(via_hlu.len(), 6);
+    // Both agree that A1 ∧ A2 no longer holds anywhere…
+    let cond = WorldSet::from_wff(N, &from);
+    assert!(via_hlu.intersect(&cond).is_empty());
+    assert!(via_morphism.intersect(&cond).is_empty());
+}

@@ -1,0 +1,151 @@
+//! Program-level emulation: whole random BLU *programs* — not just
+//! single operators — run in BLU-C and BLU-I produce states related by
+//! `e_CI`. This is the homomorphism property of Definition 2.3.1 at full
+//! strength: because `e_CI` respects every operator, it respects every
+//! term built from them, which these tests confirm directly on deep
+//! random terms with shared subexpressions.
+
+use proptest::prelude::*;
+
+use pwdb::blu::{
+    clause_state_to_worlds, eval_sterm, BluClausal, BluInstance, Env, GenmaskStrategy, MTerm,
+    Optimizer, STerm,
+};
+use pwdb::logic::{cnf_of, AtomId, ClauseSet, Wff};
+use pwdb::worlds::WorldSet;
+
+const N: usize = 4;
+
+fn arb_wff(depth: u32) -> impl Strategy<Value = Wff> {
+    let leaf = prop_oneof![
+        (0..N as u32).prop_map(Wff::atom),
+        (0..N as u32).prop_map(|a| Wff::atom(a).not()),
+    ];
+    leaf.prop_recursive(depth, 16, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.and(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.or(b)),
+            (inner.clone(), inner).prop_map(|(a, b)| a.implies(b)),
+        ]
+    })
+}
+
+fn arb_sterm() -> impl Strategy<Value = STerm> {
+    let leaf = prop_oneof![
+        Just(STerm::var("s0")),
+        Just(STerm::var("s1")),
+        Just(STerm::var("s2")),
+    ];
+    leaf.prop_recursive(5, 48, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.assert(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.combine(b)),
+            inner.clone().prop_map(STerm::complement),
+            (inner.clone(), inner.clone()).prop_map(|(a, g)| a.mask(g.genmask())),
+            (inner.clone(), Just(MTerm::var("m0"))).prop_map(|(a, m)| a.mask(m)),
+        ]
+    })
+}
+
+fn run_both(
+    term: &STerm,
+    wffs: &[Wff; 3],
+    mask_atoms: &[u32],
+) -> (ClauseSet, WorldSet) {
+    let names = ["s0", "s1", "s2"];
+    let mask: std::collections::BTreeSet<AtomId> =
+        mask_atoms.iter().map(|&a| AtomId(a)).collect();
+
+    let clausal = BluClausal::new();
+    let mut cenv: Env<BluClausal> = Env::new();
+    for (name, w) in names.iter().zip(wffs) {
+        cenv.bind_state(name, cnf_of(w));
+    }
+    cenv.bind_mask("m0", mask.clone());
+    let c_out = eval_sterm(&clausal, term, &cenv).expect("bound");
+
+    let instance = BluInstance::new(N);
+    let mut ienv: Env<BluInstance> = Env::new();
+    for (name, w) in names.iter().zip(wffs) {
+        ienv.bind_state(name, WorldSet::from_wff(N, w));
+    }
+    ienv.bind_mask("m0", mask);
+    let i_out = eval_sterm(&instance, term, &ienv).expect("bound");
+
+    (c_out, i_out)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The full homomorphism: e_CI(run_C(program)) = run_I(program) for
+    /// deep random programs.
+    #[test]
+    fn whole_programs_emulate(
+        term in arb_sterm(),
+        w0 in arb_wff(2),
+        w1 in arb_wff(2),
+        w2 in arb_wff(1),
+        mask_atoms in proptest::collection::vec(0..N as u32, 0..=2),
+    ) {
+        let (c_out, i_out) = run_both(&term, &[w0, w1, w2], &mask_atoms);
+        prop_assert_eq!(
+            clause_state_to_worlds(N, &c_out),
+            i_out,
+            "program {} diverged",
+            term
+        );
+    }
+
+    /// Optimized programs agree with unoptimized ones across BOTH
+    /// algebras — the optimizer's soundness composed with the emulation.
+    #[test]
+    fn optimized_programs_emulate_too(
+        term in arb_sterm(),
+        w0 in arb_wff(2),
+        w1 in arb_wff(1),
+        w2 in arb_wff(1),
+        mask_atoms in proptest::collection::vec(0..N as u32, 0..=2),
+    ) {
+        let (optimized, _) = Optimizer::new().optimize_term(&term);
+        let wffs = [w0, w1, w2];
+        let (_, i_raw) = run_both(&term, &wffs, &mask_atoms);
+        let (c_opt, i_opt) = run_both(&optimized, &wffs, &mask_atoms);
+        prop_assert_eq!(&i_raw, &i_opt, "optimizer changed meaning of {}", term);
+        prop_assert_eq!(clause_state_to_worlds(N, &c_opt), i_raw);
+    }
+
+    /// The reduced (subsumption) and SAT-genmask clausal algebra agrees
+    /// with the paper-exact one on whole programs, world-for-world.
+    #[test]
+    fn algebra_variants_agree_on_programs(
+        term in arb_sterm(),
+        w0 in arb_wff(2),
+        w1 in arb_wff(1),
+        w2 in arb_wff(1),
+    ) {
+        let names = ["s0", "s1", "s2"];
+        let wffs = [w0, w1, w2];
+
+        let exact = BluClausal::new();
+        let tuned = BluClausal::new()
+            .with_reduction(true)
+            .with_genmask(GenmaskStrategy::SatBased);
+        let mut env_a: Env<BluClausal> = Env::new();
+        let mut env_b: Env<BluClausal> = Env::new();
+        for (name, w) in names.iter().zip(&wffs) {
+            env_a.bind_state(name, cnf_of(w));
+            env_b.bind_state(name, cnf_of(w));
+        }
+        env_a.bind_mask("m0", [AtomId(0)].into_iter().collect());
+        env_b.bind_mask("m0", [AtomId(0)].into_iter().collect());
+        let a = eval_sterm(&exact, &term, &env_a).expect("bound");
+        let b = eval_sterm(&tuned, &term, &env_b).expect("bound");
+        prop_assert_eq!(
+            clause_state_to_worlds(N, &a),
+            clause_state_to_worlds(N, &b),
+            "variants diverged on {}",
+            term
+        );
+    }
+}

@@ -1,0 +1,206 @@
+//! End-to-end tests of the §5 relational extension: grounding, the
+//! null store, semantic resolution, and the extended where/insert — all
+//! cross-validated against the grounded possible-worlds semantics.
+
+use pwdb::relational::{
+    grounded_some_value_wff,
+    update::{execute_where_insert, find_bindings, ArgSpec},
+    CategoryExpr, Condition, ConstantDictionary, ExtendedInsert, NullStore, RelSchema, SymRef,
+    TypeAlgebra, TypeExpr,
+};
+use pwdb::worlds::WorldSet;
+
+fn personnel() -> (RelSchema, pwdb::relational::schema::RelId) {
+    let mut a = TypeAlgebra::new();
+    let person = a.add_type("person", &["jones", "smith"]);
+    let dept = a.add_type("dept", &["sales", "hr"]);
+    let telno = a.add_type("telno", &["t1", "t2", "t3"]);
+    let mut s = RelSchema::new(a);
+    let r = s.add_relation("R", vec![person, dept, telno]);
+    (s, r)
+}
+
+#[test]
+fn grounding_size_is_typed_product() {
+    let (s, _r) = personnel();
+    let g = s.ground();
+    assert_eq!(g.n_atoms(), 2 * 2 * 3);
+}
+
+#[test]
+fn jones_pipeline_against_grounded_semantics() {
+    let (s, r) = personnel();
+    let g = s.ground();
+    let a = s.algebra();
+    let jones = a.constant("jones").unwrap();
+    let sales = a.constant("sales").unwrap();
+    let t1 = a.constant("t1").unwrap();
+
+    let mut store = NullStore::new();
+    store.add_fact(
+        r,
+        vec![
+            SymRef::External(jones),
+            SymRef::External(sales),
+            SymRef::External(t1),
+        ],
+    );
+
+    // Extended update: Jones has a new (unknown) phone.
+    let telno_expr = TypeExpr::Base(s.algebra().type_id("telno").unwrap());
+    let insert = ExtendedInsert {
+        rel: r,
+        args: vec![
+            ArgSpec::Var("x".into()),
+            ArgSpec::Var("y".into()),
+            ArgSpec::Exists(telno_expr),
+        ],
+    };
+    let conditions = vec![
+        Condition::Eq("x".into(), jones),
+        Condition::InType("y".into(), TypeExpr::Universe),
+    ];
+    assert_eq!(
+        find_bindings(&store, &s, r, &insert.args, &conditions).len(),
+        1
+    );
+    execute_where_insert(&mut store, &s, &insert, &conditions);
+
+    let store_worlds = store.worlds(&s, &g);
+    assert_eq!(store_worlds.len(), 3);
+
+    // Cross-check against the grounded mask–assert update: store worlds
+    // must be exactly the single-phone worlds of the HLU result.
+    let n = g.n_atoms();
+    let disj = grounded_some_value_wff(&s, &g, r, &[Some(jones), Some(sales), None]);
+    let initial = {
+        let mut st = NullStore::new();
+        st.add_fact(
+            r,
+            vec![
+                SymRef::External(jones),
+                SymRef::External(sales),
+                SymRef::External(t1),
+            ],
+        );
+        st.worlds(&s, &g)
+    };
+    let dep = WorldSet::from_wff(n, &disj).dep();
+    let hlu = initial
+        .saturate_all(&dep)
+        .intersect(&WorldSet::from_wff(n, &disj));
+    assert!(store_worlds.is_subset(&hlu));
+
+    // The HLU result, restricted to worlds with exactly one Jones-phone
+    // fact, is the store result.
+    let phone_atoms: Vec<pwdb::logic::AtomId> = (0..3)
+        .map(|i| {
+            let t = s.algebra().constant(&format!("t{}", i + 1)).unwrap();
+            g.atom(r, &[jones, sales, t]).unwrap()
+        })
+        .collect();
+    let mut single_phone = WorldSet::empty(n);
+    for w in hlu.iter() {
+        let count = phone_atoms.iter().filter(|a| w.get(**a)).count();
+        if count == 1 {
+            single_phone.insert(w);
+        }
+    }
+    assert_eq!(store_worlds, single_phone);
+}
+
+#[test]
+fn dictionary_narrowing_interacts_with_store_worlds() {
+    let (s, r) = personnel();
+    let g = s.ground();
+    let a = s.algebra();
+    let jones = a.constant("jones").unwrap();
+    let sales = a.constant("sales").unwrap();
+    let t2 = a.constant("t2").unwrap();
+    let telno_expr = TypeExpr::Base(a.type_id("telno").unwrap());
+
+    let mut store = NullStore::new();
+    let u = store
+        .dictionary_mut()
+        .activate(CategoryExpr::of_type(telno_expr));
+    store.add_fact(r, vec![SymRef::External(jones), SymRef::External(sales), u]);
+    assert_eq!(store.worlds(&s, &g).len(), 3);
+
+    // Learning "not t2" narrows the null via an exclusion exception.
+    let SymRef::Internal(id) = u else { unreachable!() };
+    let entry = store.dictionary().entry(id).clone();
+    store.dictionary_mut().narrow(
+        id,
+        CategoryExpr {
+            ee: vec![SymRef::External(t2)],
+            ..entry
+        },
+    );
+    assert_eq!(store.worlds(&s, &g).len(), 2);
+}
+
+#[test]
+fn semantic_resolution_narrows_against_store_facts() {
+    use pwdb::relational::unify::{semantic_resolvent, SymLiteral};
+    let (s, r) = personnel();
+    let a = s.algebra();
+    let mut dict = ConstantDictionary::new();
+    let telno_expr = TypeExpr::Base(a.type_id("telno").unwrap());
+    let u = dict.activate(CategoryExpr::of_type(telno_expr));
+    let jones = SymRef::External(a.constant("jones").unwrap());
+    let sales = SymRef::External(a.constant("sales").unwrap());
+    let t3 = SymRef::External(a.constant("t3").unwrap());
+
+    // Fact clause: R(jones, sales, u). Query clause: ¬R(jones, sales, t3)
+    // (is t3 Jones' phone?). They resolve, and the unifier pins u = t3.
+    let fact = vec![SymLiteral {
+        positive: true,
+        rel: r,
+        args: vec![jones, sales, u],
+    }];
+    let query = vec![SymLiteral {
+        positive: false,
+        rel: r,
+        args: vec![jones, sales, t3],
+    }];
+    let (resolvent, unifier) = semantic_resolvent(a, &dict, &fact, &query, 0, 0).unwrap();
+    assert!(resolvent.is_empty(), "complete refutation");
+    assert_eq!(unifier[2].count_ones(), 1);
+    // The unifier's third position is exactly {t3}.
+    let SymRef::External(t3_id) = t3 else { unreachable!() };
+    assert_eq!(unifier[2], 1u64 << t3_id);
+}
+
+#[test]
+fn ill_typed_existential_yields_no_worlds() {
+    let (s, r) = personnel();
+    let g = s.ground();
+    let a = s.algebra();
+    let jones = a.constant("jones").unwrap();
+    let sales = a.constant("sales").unwrap();
+    // A null typed "person" in the telephone position can never valuate
+    // to a well-typed fact.
+    let person_expr = TypeExpr::Base(a.type_id("person").unwrap());
+    let mut store = NullStore::new();
+    let bad = store
+        .dictionary_mut()
+        .activate(CategoryExpr::of_type(person_expr));
+    store.add_fact(r, vec![SymRef::External(jones), SymRef::External(sales), bad]);
+    assert!(store.worlds(&s, &g).is_empty());
+}
+
+#[test]
+fn grounded_wff_matches_domain_size() {
+    let (s, r) = personnel();
+    let g = s.ground();
+    let a = s.algebra();
+    let smith = a.constant("smith").unwrap();
+    let hr = a.constant("hr").unwrap();
+    let w = grounded_some_value_wff(&s, &g, r, &[Some(smith), Some(hr), None]);
+    assert_eq!(w.props().len(), 3);
+    // All disjuncts mention smith and hr.
+    for atom in w.props() {
+        let name = g.table().name(atom).unwrap();
+        assert!(name.contains("smith") && name.contains("hr"), "{name}");
+    }
+}
