@@ -1,48 +1,38 @@
-//! Criterion benches for E1–E3 (Theorem 2.3.4(b)): `assert` linear,
+//! Timing harness for E1–E3 (Theorem 2.3.4(b)): `assert` linear,
 //! `combine` quadratic, `complement` exponential.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use pwdb::blu::BluClausal;
 use pwdb::logic::{AtomId, Clause, ClauseSet, Literal};
-use pwdb_bench::{random_clause_set, rng};
+use pwdb_bench::{fmt_duration, print_table, random_clause_set, rng, time_median};
 
-fn bench_assert(c: &mut Criterion) {
-    let mut group = c.benchmark_group("e1_assert");
+fn bench_assert() {
+    let mut rows = Vec::new();
     for exp in [8u32, 10, 12] {
         let clauses = 1usize << exp;
         let mut r = rng(exp as u64);
         let a = random_clause_set(&mut r, 64, clauses, 4);
         let b = random_clause_set(&mut r, 64, clauses, 4);
-        group.throughput(Throughput::Elements((a.length() + b.length()) as u64));
-        group.bench_with_input(
-            BenchmarkId::from_parameter(a.length() + b.length()),
-            &(a, b),
-            |bench, (a, b)| bench.iter(|| BluClausal::assert_clauses(a, b)),
-        );
+        let (_, d) = time_median(20, || BluClausal::assert_clauses(&a, &b));
+        rows.push(vec![(a.length() + b.length()).to_string(), fmt_duration(d)]);
     }
-    group.finish();
+    print_table("e1_assert", &["L1+L2", "median"], &rows);
 }
 
-fn bench_combine(c: &mut Criterion) {
-    let mut group = c.benchmark_group("e2_combine");
+fn bench_combine() {
+    let mut rows = Vec::new();
     for exp in [4u32, 5, 6, 7] {
         let clauses = 1usize << exp;
         let mut r = rng(100 + exp as u64);
         let a = random_clause_set(&mut r, 64, clauses, 3);
         let b = random_clause_set(&mut r, 64, clauses, 3);
-        group.throughput(Throughput::Elements((a.length() * b.length()) as u64));
-        group.bench_with_input(
-            BenchmarkId::from_parameter(a.length() * b.length()),
-            &(a, b),
-            |bench, (a, b)| bench.iter(|| BluClausal::combine_clauses(a, b)),
-        );
+        let (_, d) = time_median(20, || BluClausal::combine_clauses(&a, &b));
+        rows.push(vec![(a.length() * b.length()).to_string(), fmt_duration(d)]);
     }
-    group.finish();
+    print_table("e2_combine", &["L1*L2", "median"], &rows);
 }
 
-fn bench_complement(c: &mut Criterion) {
-    let mut group = c.benchmark_group("e3_complement");
-    group.sample_size(10);
+fn bench_complement() {
+    let mut rows = Vec::new();
     for k in [4usize, 6, 8] {
         // k disjoint width-3 clauses: output 3^k.
         let mut set = ClauseSet::new();
@@ -54,14 +44,14 @@ fn bench_complement(c: &mut Criterion) {
                 Literal::pos(AtomId(base + 2)),
             ]));
         }
-        group.bench_with_input(
-            BenchmarkId::from_parameter(set.length()),
-            &set,
-            |bench, set| bench.iter(|| BluClausal::complement_clauses(set)),
-        );
+        let (_, d) = time_median(5, || BluClausal::complement_clauses(&set));
+        rows.push(vec![set.length().to_string(), fmt_duration(d)]);
     }
-    group.finish();
+    print_table("e3_complement", &["L", "median"], &rows);
 }
 
-criterion_group!(benches, bench_assert, bench_combine, bench_complement);
-criterion_main!(benches);
+fn main() {
+    bench_assert();
+    bench_combine();
+    bench_complement();
+}

@@ -1,35 +1,33 @@
-//! Criterion bench for E5 (Theorem 2.3.9(b)): the paper's exhaustive
+//! Timing harness for E5 (Theorem 2.3.9(b)): the paper's exhaustive
 //! `genmask` doubles per proposition letter; the SAT-cofactor strategy is
 //! the engineering alternative for the same NP-complete problem.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pwdb::blu::BluClausal;
-use pwdb_bench::{random_clause_set, rng};
+use pwdb_bench::{fmt_duration, print_table, random_clause_set, rng, time_median};
 
-fn bench_genmask_paper(c: &mut Criterion) {
-    let mut group = c.benchmark_group("e5_genmask_paper");
-    group.sample_size(10);
+fn bench_genmask_paper() {
+    let mut rows = Vec::new();
     for n in [6usize, 8, 10, 12] {
         let mut r = rng(5000 + n as u64);
         let set = random_clause_set(&mut r, n, n * 2, 3);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &set, |bench, set| {
-            bench.iter(|| BluClausal::genmask_paper(set))
-        });
+        let (_, d) = time_median(5, || BluClausal::genmask_paper(&set));
+        rows.push(vec![n.to_string(), fmt_duration(d)]);
     }
-    group.finish();
+    print_table("e5_genmask_paper", &["n", "median"], &rows);
 }
 
-fn bench_genmask_sat(c: &mut Criterion) {
-    let mut group = c.benchmark_group("e5_genmask_sat");
+fn bench_genmask_sat() {
+    let mut rows = Vec::new();
     for n in [6usize, 8, 10, 12, 16] {
         let mut r = rng(5000 + n as u64);
         let set = random_clause_set(&mut r, n, n * 2, 3);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &set, |bench, set| {
-            bench.iter(|| BluClausal::genmask_sat(set))
-        });
+        let (_, d) = time_median(10, || BluClausal::genmask_sat(&set));
+        rows.push(vec![n.to_string(), fmt_duration(d)]);
     }
-    group.finish();
+    print_table("e5_genmask_sat", &["n", "median"], &rows);
 }
 
-criterion_group!(benches, bench_genmask_paper, bench_genmask_sat);
-criterion_main!(benches);
+fn main() {
+    bench_genmask_paper();
+    bench_genmask_sat();
+}

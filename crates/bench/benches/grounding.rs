@@ -1,11 +1,11 @@
-//! Criterion bench for E9 (§5.1.1): grounded-disjunction construction
+//! Timing harness for E9 (§5.1.1): grounded-disjunction construction
 //! versus the null-store update as the telephone domain grows.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pwdb::relational::{
     update::{execute_where_insert, ArgSpec},
     Condition, ExtendedInsert, NullStore, RelSchema, SymRef, TypeAlgebra, TypeExpr,
 };
+use pwdb_bench::{fmt_duration, print_table, time_median};
 
 fn build(telnos: usize) -> (RelSchema, pwdb::relational::schema::RelId) {
     let mut algebra = TypeAlgebra::new();
@@ -19,72 +19,64 @@ fn build(telnos: usize) -> (RelSchema, pwdb::relational::schema::RelId) {
     (schema, r)
 }
 
-fn bench_grounded(c: &mut Criterion) {
-    let mut group = c.benchmark_group("e9_grounded_disjunction");
+fn bench_grounded() {
+    let mut rows = Vec::new();
     for telnos in [8usize, 24, 56] {
         let (schema, r) = build(telnos);
         let ground = schema.ground();
         let jones = schema.algebra().constant("jones").unwrap();
         let sales = schema.algebra().constant("sales").unwrap();
-        group.bench_with_input(
-            BenchmarkId::from_parameter(telnos),
-            &(schema, ground),
-            |bench, (schema, ground)| {
-                bench.iter(|| {
-                    pwdb::relational::grounded_some_value_wff(
-                        schema,
-                        ground,
-                        r,
-                        &[Some(jones), Some(sales), None],
-                    )
-                })
-            },
-        );
+        let (_, d) = time_median(20, || {
+            pwdb::relational::grounded_some_value_wff(
+                &schema,
+                &ground,
+                r,
+                &[Some(jones), Some(sales), None],
+            )
+        });
+        rows.push(vec![telnos.to_string(), fmt_duration(d)]);
     }
-    group.finish();
+    print_table("e9_grounded_disjunction", &["telnos", "median"], &rows);
 }
 
-fn bench_null_store(c: &mut Criterion) {
-    let mut group = c.benchmark_group("e9_null_store_update");
+fn bench_null_store() {
+    let mut rows = Vec::new();
     for telnos in [8usize, 24, 56] {
         let (schema, r) = build(telnos);
         let jones = schema.algebra().constant("jones").unwrap();
         let sales = schema.algebra().constant("sales").unwrap();
         let t0 = schema.algebra().constant("t0").unwrap();
         let telno_expr = TypeExpr::Base(schema.algebra().type_id("telno").unwrap());
-        group.bench_with_input(
-            BenchmarkId::from_parameter(telnos),
-            &schema,
-            |bench, schema| {
-                bench.iter(|| {
-                    let mut store = NullStore::new();
-                    store.add_fact(
-                        r,
-                        vec![
-                            SymRef::External(jones),
-                            SymRef::External(sales),
-                            SymRef::External(t0),
-                        ],
-                    );
-                    let insert = ExtendedInsert {
-                        rel: r,
-                        args: vec![
-                            ArgSpec::Var("x".into()),
-                            ArgSpec::Var("y".into()),
-                            ArgSpec::Exists(telno_expr.clone()),
-                        ],
-                    };
-                    let conditions = vec![
-                        Condition::Eq("x".into(), jones),
-                        Condition::InType("y".into(), TypeExpr::Universe),
-                    ];
-                    execute_where_insert(&mut store, schema, &insert, &conditions)
-                })
-            },
-        );
+        let (_, d) = time_median(20, || {
+            let mut store = NullStore::new();
+            store.add_fact(
+                r,
+                vec![
+                    SymRef::External(jones),
+                    SymRef::External(sales),
+                    SymRef::External(t0),
+                ],
+            );
+            let insert = ExtendedInsert {
+                rel: r,
+                args: vec![
+                    ArgSpec::Var("x".into()),
+                    ArgSpec::Var("y".into()),
+                    ArgSpec::Exists(telno_expr.clone()),
+                ],
+            };
+            let conditions = vec![
+                Condition::Eq("x".into(), jones),
+                Condition::InType("y".into(), TypeExpr::Universe),
+            ];
+            execute_where_insert(&mut store, &schema, &insert, &conditions)
+        });
+        rows.push(vec![telnos.to_string(), fmt_duration(d)]);
     }
-    group.finish();
+    print_table("e9_null_store_update", &["telnos", "median"], &rows);
 }
 
-criterion_group!(benches, bench_grounded, bench_null_store);
-criterion_main!(benches);
+fn main() {
+    bench_grounded();
+    bench_null_store();
+}

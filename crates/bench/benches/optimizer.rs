@@ -1,11 +1,10 @@
-//! Ablation bench for the BLU term optimizer: evaluation cost of
+//! Ablation harness for the BLU term optimizer: evaluation cost of
 //! redundant programs before and after rewriting, plus the rewrite cost
 //! itself. (The §4 "correctness-preserving optimizations" at the program
 //! level.)
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use pwdb::blu::{eval_sterm, BluClausal, Env, Optimizer, STerm};
-use pwdb_bench::{random_clause_set, rng};
+use pwdb_bench::{fmt_duration, print_table, random_clause_set, rng, time_median};
 
 /// A deliberately redundant term a naive program generator might emit:
 /// `(combine (assert (assert s0 s0) s1) (assert s0 (combine s0 s1)))`
@@ -21,7 +20,7 @@ fn redundant_term(depth: usize) -> STerm {
     t
 }
 
-fn bench_optimizer(c: &mut Criterion) {
+fn main() {
     let term = redundant_term(1);
     let (optimized, stats) = Optimizer::new().optimize_term(&term);
     assert!(stats.size_after < stats.size_before);
@@ -32,18 +31,12 @@ fn bench_optimizer(c: &mut Criterion) {
     env.bind_state("s0", random_clause_set(&mut r, 16, 24, 3));
     env.bind_state("s1", random_clause_set(&mut r, 16, 12, 3));
 
-    let mut group = c.benchmark_group("optimizer_ablation");
-    group.bench_function("eval_raw", |b| {
-        b.iter(|| eval_sterm(&alg, &term, &env).unwrap())
-    });
-    group.bench_function("eval_optimized", |b| {
-        b.iter(|| eval_sterm(&alg, &optimized, &env).unwrap())
-    });
-    group.bench_function("rewrite_cost", |b| {
-        b.iter(|| Optimizer::new().optimize_term(&term))
-    });
-    group.finish();
+    let mut rows = Vec::new();
+    let (_, d) = time_median(10, || eval_sterm(&alg, &term, &env).unwrap());
+    rows.push(vec!["eval_raw".to_string(), fmt_duration(d)]);
+    let (_, d) = time_median(10, || eval_sterm(&alg, &optimized, &env).unwrap());
+    rows.push(vec!["eval_optimized".to_string(), fmt_duration(d)]);
+    let (_, d) = time_median(10, || Optimizer::new().optimize_term(&term));
+    rows.push(vec!["rewrite_cost".to_string(), fmt_duration(d)]);
+    print_table("optimizer_ablation", &["variant", "median"], &rows);
 }
-
-criterion_group!(benches, bench_optimizer);
-criterion_main!(benches);

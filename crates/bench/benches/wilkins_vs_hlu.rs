@@ -1,12 +1,11 @@
-//! Criterion bench for E6/E7 (§3.3.1): update and query latency of the
+//! Timing harness for E6/E7 (§3.3.1): update and query latency of the
 //! mask-based clausal HLU engine versus the Wilkins auxiliary-letter
 //! engine.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pwdb::hlu::ClausalDatabase;
 use pwdb::logic::Wff;
 use pwdb::wilkins::WilkinsDb;
-use pwdb_bench::{random_wff, rng};
+use pwdb_bench::{fmt_duration, print_table, random_wff, rng, time_median};
 
 const N_ATOMS: usize = 12;
 
@@ -15,38 +14,34 @@ fn script(k: usize) -> Vec<Wff> {
     (0..k).map(|_| random_wff(&mut r, N_ATOMS, 1)).collect()
 }
 
-fn bench_updates(c: &mut Criterion) {
-    let mut group = c.benchmark_group("e6_update_script");
-    group.sample_size(10);
+fn bench_updates() {
+    let mut rows = Vec::new();
     for k in [8usize, 16, 32] {
         let s = script(k);
-        group.bench_with_input(BenchmarkId::new("hegner", k), &s, |bench, s| {
-            bench.iter(|| {
-                let mut db = ClausalDatabase::new();
-                for w in s {
-                    db.insert(w.clone());
-                }
-                db
-            })
+        let (_, d) = time_median(5, || {
+            let mut db = ClausalDatabase::new();
+            for w in &s {
+                db.insert(w.clone());
+            }
+            db
         });
-        group.bench_with_input(BenchmarkId::new("wilkins", k), &s, |bench, s| {
-            bench.iter(|| {
-                let mut db = WilkinsDb::new(N_ATOMS);
-                for w in s {
-                    db.insert(w);
-                }
-                db
-            })
+        rows.push(vec![format!("hegner k={k}"), fmt_duration(d)]);
+        let (_, d) = time_median(5, || {
+            let mut db = WilkinsDb::new(N_ATOMS);
+            for w in &s {
+                db.insert(w);
+            }
+            db
         });
+        rows.push(vec![format!("wilkins k={k}"), fmt_duration(d)]);
     }
-    group.finish();
+    print_table("e6_update_script", &["engine", "median"], &rows);
 }
 
-fn bench_query_after_updates(c: &mut Criterion) {
-    let mut group = c.benchmark_group("e7_query_after_k_updates");
-    group.sample_size(10);
+fn bench_query_after_updates() {
     let mut qr = rng(6100);
     let queries: Vec<Wff> = (0..10).map(|_| random_wff(&mut qr, N_ATOMS, 2)).collect();
+    let mut rows = Vec::new();
     for k in [8usize, 32] {
         let s = script(k);
         let mut hegner = ClausalDatabase::new();
@@ -55,15 +50,19 @@ fn bench_query_after_updates(c: &mut Criterion) {
             hegner.insert(w.clone());
             wilkins.insert(w);
         }
-        group.bench_with_input(BenchmarkId::new("hegner", k), &queries, |bench, qs| {
-            bench.iter(|| qs.iter().filter(|q| hegner.is_certain(q)).count())
+        let (_, d) = time_median(5, || {
+            queries.iter().filter(|q| hegner.is_certain(q)).count()
         });
-        group.bench_with_input(BenchmarkId::new("wilkins", k), &queries, |bench, qs| {
-            bench.iter(|| qs.iter().filter(|q| wilkins.query_certain(q)).count())
+        rows.push(vec![format!("hegner k={k}"), fmt_duration(d)]);
+        let (_, d) = time_median(5, || {
+            queries.iter().filter(|q| wilkins.query_certain(q)).count()
         });
+        rows.push(vec![format!("wilkins k={k}"), fmt_duration(d)]);
     }
-    group.finish();
+    print_table("e7_query_after_k_updates", &["engine", "median"], &rows);
 }
 
-criterion_group!(benches, bench_updates, bench_query_after_updates);
-criterion_main!(benches);
+fn main() {
+    bench_updates();
+    bench_query_after_updates();
+}

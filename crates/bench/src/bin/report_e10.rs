@@ -15,8 +15,8 @@ use pwdb::logic::{cnf_of, parse_clause_set, AtomTable, ClauseSet};
 
 fn main() {
     let mut atoms = AtomTable::with_indexed_atoms(5);
-    let phi = parse_clause_set("{!A1 | A3, A1 | A4, A4 | A5, !A1 | !A2 | !A5}", &mut atoms)
-        .unwrap();
+    let phi =
+        parse_clause_set("{!A1 | A3, A1 | A4, A4 | A5, !A1 | !A2 | !A5}", &mut atoms).unwrap();
     let alg = BluClausal::new();
 
     println!("== E10  worked examples (3.1.5, 3.2.5) ==");
@@ -47,8 +47,7 @@ fn main() {
     let then_masked = alg.op_mask(&then_state, &gm);
     let then_final = alg.op_assert(&then_masked, &param);
     println!("  then-branch (assert Φ A5, mask, assert): {then_final}");
-    let expected_then =
-        parse_clause_set("{A4 | A5, A3 | A4, A5, A1 | A2}", &mut atoms).unwrap();
+    let expected_then = parse_clause_set("{A4 | A5, A3 | A4, A5, A1 | A2}", &mut atoms).unwrap();
     assert_eq!(then_final, expected_then, "then-branch must match 3.2.5");
 
     let not_a5 = alg.op_complement(&a5);
@@ -56,7 +55,10 @@ fn main() {
     println!("  else-branch (assert Φ (complement A5)):  {else_final}");
 
     let combined = alg.op_combine(&then_final, &else_final);
-    println!("  combine — {} clauses (paper: \"16 clauses\", before", combined.len());
+    println!(
+        "  combine — {} clauses (paper: \"16 clauses\", before",
+        combined.len()
+    );
     println!("  tautology elimination; ours drops tautologous products): {combined}");
 
     // Full pipeline through the HLU machinery must agree.

@@ -152,8 +152,10 @@ fn e14_tautology() {
     let before: Vec<u64> = hegner.state().iter().map(|w| w.bits()).collect();
     hegner.run(&HluProgram::Insert(taut.clone()));
     let after: Vec<u64> = hegner.state().iter().map(|w| w.bits()).collect();
-    println!("  Hegner: worlds before = {before:?}, after = {after:?}  (identity: {})",
-             before == after);
+    println!(
+        "  Hegner: worlds before = {before:?}, after = {after:?}  (identity: {})",
+        before == after
+    );
     assert_eq!(before, after);
 
     let mut wilkins = WilkinsDb::new(1);

@@ -99,5 +99,7 @@ fn e3_complement() {
         &["L", "out clauses", "ε^L", "out len", "time"],
         &rows,
     );
-    println!("(ε^L is the theorem's bound; 'out clauses' should track it exactly for width-3 inputs)");
+    println!(
+        "(ε^L is the theorem's bound; 'out clauses' should track it exactly for width-3 inputs)"
+    );
 }

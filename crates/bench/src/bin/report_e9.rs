@@ -12,8 +12,7 @@
 //! the update-formula size, and the null-store fact/dictionary cost.
 
 use pwdb::relational::{
-    update::ArgSpec, Condition, ExtendedInsert, NullStore, RelSchema, SymRef, TypeAlgebra,
-    TypeExpr,
+    update::ArgSpec, Condition, ExtendedInsert, NullStore, RelSchema, SymRef, TypeAlgebra, TypeExpr,
 };
 use pwdb_bench::{fmt_duration, print_table, time};
 
@@ -70,8 +69,14 @@ fn main() {
             Condition::Eq("x".into(), jones),
             Condition::InType("y".into(), TypeExpr::Universe),
         ];
-        let (applied, d_store) =
-            time(|| pwdb::relational::update::execute_where_insert(&mut store, &schema, &insert, &conditions));
+        let (applied, d_store) = time(|| {
+            pwdb::relational::update::execute_where_insert(
+                &mut store,
+                &schema,
+                &insert,
+                &conditions,
+            )
+        });
         assert_eq!(applied, 1);
 
         rows.push(vec![

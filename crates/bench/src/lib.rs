@@ -6,34 +6,31 @@
 //! (3.1.5, 3.2.5), the comparative claims of §3.3/§4, and the grounding
 //! blowup of §5.1.1. Each `report_e*` binary in this crate regenerates
 //! one of those claims (see DESIGN.md's experiment index and
-//! EXPERIMENTS.md for paper-vs-measured); the Criterion benches under
-//! `benches/` provide the statistically careful timings.
+//! EXPERIMENTS.md for paper-vs-measured); the timing harnesses under
+//! `benches/` provide repeated-run median timings.
 
 use std::time::{Duration, Instant};
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
-use pwdb::logic::{AtomId, Clause, ClauseSet, Literal, Wff};
+use pwdb::logic::{AtomId, Clause, ClauseSet, Literal, Rng, Wff};
 
 /// Deterministic RNG for reproducible workloads.
-pub fn rng(seed: u64) -> StdRng {
-    StdRng::seed_from_u64(seed)
+pub fn rng(seed: u64) -> Rng {
+    Rng::new(seed)
 }
 
 /// A random non-tautological clause of exactly `width` distinct atoms.
-pub fn random_clause(rng: &mut StdRng, n_atoms: usize, width: usize) -> Clause {
+pub fn random_clause(rng: &mut Rng, n_atoms: usize, width: usize) -> Clause {
     assert!(width <= n_atoms);
     // Sample distinct atoms by partial shuffle.
     let mut atoms: Vec<u32> = (0..n_atoms as u32).collect();
     for i in 0..width {
-        let j = rng.gen_range(i..atoms.len());
+        let j = rng.range_usize(i, atoms.len());
         atoms.swap(i, j);
     }
     Clause::new(
         atoms[..width]
             .iter()
-            .map(|&a| Literal::new(AtomId(a), rng.gen_bool(0.5)))
+            .map(|&a| Literal::new(AtomId(a), rng.coin()))
             .collect(),
     )
 }
@@ -42,7 +39,7 @@ pub fn random_clause(rng: &mut StdRng, n_atoms: usize, width: usize) -> Clause {
 /// `n_atoms` atoms. Duplicate draws are retried so the set has exactly
 /// the requested clause count (give up after 10× oversampling).
 pub fn random_clause_set(
-    rng: &mut StdRng,
+    rng: &mut Rng,
     n_atoms: usize,
     n_clauses: usize,
     width: usize,
@@ -58,7 +55,7 @@ pub fn random_clause_set(
 
 /// A random clause set with mixed widths in `1..=max_width`.
 pub fn random_mixed_clause_set(
-    rng: &mut StdRng,
+    rng: &mut Rng,
     n_atoms: usize,
     n_clauses: usize,
     max_width: usize,
@@ -66,7 +63,7 @@ pub fn random_mixed_clause_set(
     let mut set = ClauseSet::new();
     let mut attempts = 0;
     while set.len() < n_clauses && attempts < n_clauses * 10 {
-        let w = rng.gen_range(1..=max_width);
+        let w = rng.range_usize(1, max_width + 1);
         set.insert(random_clause(rng, n_atoms, w));
         attempts += 1;
     }
@@ -74,14 +71,14 @@ pub fn random_mixed_clause_set(
 }
 
 /// A random wff of the given AST depth (for update parameters).
-pub fn random_wff(rng: &mut StdRng, n_atoms: usize, depth: usize) -> Wff {
+pub fn random_wff(rng: &mut Rng, n_atoms: usize, depth: usize) -> Wff {
     if depth == 0 {
-        let a = Wff::atom(rng.gen_range(0..n_atoms as u32));
-        return if rng.gen_bool(0.3) { a.not() } else { a };
+        let a = Wff::atom(rng.below(n_atoms as u64) as u32);
+        return if rng.bool_with(0.3) { a.not() } else { a };
     }
     let l = random_wff(rng, n_atoms, depth - 1);
     let r = random_wff(rng, n_atoms, depth - 1);
-    match rng.gen_range(0..4) {
+    match rng.below(4) {
         0 => l.and(r),
         1 => l.or(r),
         2 => l.implies(r),

@@ -22,6 +22,7 @@ use std::collections::BTreeSet;
 
 use pwdb_logic::resolution::{drop_atoms, rclosure_on_atom};
 use pwdb_logic::{AtomId, Clause, ClauseSet, Literal};
+use pwdb_metrics::{counter, histogram, timer};
 
 use crate::eval::BluSemantics;
 
@@ -129,6 +130,7 @@ impl BluClausal {
     /// the constraints on those which are left" — this is resolution-based
     /// variable forgetting.
     pub fn mask_step(phi: &ClauseSet, atom: AtomId) -> ClauseSet {
+        counter!("blu.mask.steps").inc();
         let closed = rclosure_on_atom(phi, atom);
         let single = BTreeSet::from([atom]);
         drop_atoms(&closed, &single)
@@ -188,6 +190,7 @@ impl BluClausal {
             .collect();
         // Truth table of Φ over the 2^k complete literal sets.
         let size = 1usize << k;
+        counter!("blu.genmask.assignments").add(size as u64);
         let mut truth = vec![false; size];
         for (m, slot) in truth.iter_mut().enumerate() {
             let m = m as u64;
@@ -243,27 +246,70 @@ impl BluSemantics for BluClausal {
     type State = ClauseSet;
     type Mask = BTreeSet<AtomId>;
 
+    // Each primitive records, under the theorem whose bound it witnesses
+    // (2.3.4(b) for assert/combine/complement, 2.3.6(b) for mask,
+    // 2.3.9(b) for genmask): call count, input length L (total literal
+    // count, the paper's measure), wall time, and an output-size
+    // histogram. See docs/PAPER_MAP.md.
+
     fn op_assert(&self, x: &ClauseSet, y: &ClauseSet) -> ClauseSet {
-        Self::assert_clauses(x, y)
+        counter!("blu.assert.calls").inc();
+        counter!("blu.assert.in_length").add((x.length() + y.length()) as u64);
+        let out = {
+            let _t = timer!("blu.assert.wall").start();
+            Self::assert_clauses(x, y)
+        };
+        histogram!("blu.assert.out_length").record(out.length() as u64);
+        out
     }
 
     fn op_combine(&self, x: &ClauseSet, y: &ClauseSet) -> ClauseSet {
-        self.maybe_reduce(Self::combine_clauses(x, y))
+        counter!("blu.combine.calls").inc();
+        counter!("blu.combine.in_length").add((x.length() + y.length()) as u64);
+        counter!("blu.combine.products").add((x.length() * y.length()) as u64);
+        let out = {
+            let _t = timer!("blu.combine.wall").start();
+            self.maybe_reduce(Self::combine_clauses(x, y))
+        };
+        histogram!("blu.combine.out_length").record(out.length() as u64);
+        out
     }
 
     fn op_complement(&self, x: &ClauseSet) -> ClauseSet {
-        self.maybe_reduce(Self::complement_clauses(x))
+        counter!("blu.complement.calls").inc();
+        counter!("blu.complement.in_length").add(x.length() as u64);
+        let out = {
+            let _t = timer!("blu.complement.wall").start();
+            self.maybe_reduce(Self::complement_clauses(x))
+        };
+        histogram!("blu.complement.out_length").record(out.length() as u64);
+        out
     }
 
     fn op_mask(&self, x: &ClauseSet, m: &BTreeSet<AtomId>) -> ClauseSet {
-        self.mask_clauses(x, m)
+        counter!("blu.mask.calls").inc();
+        counter!("blu.mask.in_length").add(x.length() as u64);
+        counter!("blu.mask.letters").add(m.len() as u64);
+        let out = {
+            let _t = timer!("blu.mask.wall").start();
+            self.mask_clauses(x, m)
+        };
+        histogram!("blu.mask.out_length").record(out.length() as u64);
+        out
     }
 
     fn op_genmask(&self, x: &ClauseSet) -> BTreeSet<AtomId> {
-        match self.genmask_strategy {
-            GenmaskStrategy::PaperExhaustive => Self::genmask_paper(x),
-            GenmaskStrategy::SatBased => Self::genmask_sat(x),
-        }
+        counter!("blu.genmask.calls").inc();
+        counter!("blu.genmask.in_length").add(x.length() as u64);
+        let out = {
+            let _t = timer!("blu.genmask.wall").start();
+            match self.genmask_strategy {
+                GenmaskStrategy::PaperExhaustive => Self::genmask_paper(x),
+                GenmaskStrategy::SatBased => Self::genmask_sat(x),
+            }
+        };
+        histogram!("blu.genmask.mask_size").record(out.len() as u64);
+        out
     }
 }
 
@@ -291,8 +337,7 @@ mod tests {
         let a = parse_clause_set("{A1, A2}", &mut t).unwrap();
         let b = parse_clause_set("{A3, A4}", &mut t).unwrap();
         let c = BluClausal::combine_clauses(&a, &b);
-        let expected =
-            parse_clause_set("{A1 | A3, A1 | A4, A2 | A3, A2 | A4}", &mut t).unwrap();
+        let expected = parse_clause_set("{A1 | A3, A1 | A4, A2 | A3, A2 | A4}", &mut t).unwrap();
         assert_eq!(c, expected);
     }
 

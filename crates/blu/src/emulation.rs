@@ -123,9 +123,9 @@ pub fn check_states(
     let gm_c = clausal.op_genmask(y);
     let gm_i = instance.op_genmask(&ey);
     if gm_c != gm_i {
-        report
-            .failures
-            .push(format!("genmask: C gave {gm_c:?}, I gave {gm_i:?} for y={y}"));
+        report.failures.push(format!(
+            "genmask: C gave {gm_c:?}, I gave {gm_i:?} for y={y}"
+        ));
     }
 
     // mask with genmask(y) ∪ extra.
@@ -175,7 +175,10 @@ pub fn all_clauses(n_atoms: usize, max_width: usize) -> Vec<pwdb_logic::Clause> 
 /// drawn from single- and two-clause sets in a tiny universe. Feasible
 /// for `n_atoms ≤ 3`.
 pub fn check_exhaustive_small(n_atoms: usize, clausal: &BluClausal) -> EmulationReport {
-    assert!(n_atoms <= 3, "exhaustive check is quartic in the clause count");
+    assert!(
+        n_atoms <= 3,
+        "exhaustive check is quartic in the clause count"
+    );
     let clauses = all_clauses(n_atoms, n_atoms);
     let mut states: Vec<ClauseSet> = vec![ClauseSet::new()];
     for c in &clauses {
@@ -221,8 +224,7 @@ mod tests {
 
     #[test]
     fn exhaustive_two_atoms_with_reduction() {
-        let report =
-            check_exhaustive_small(2, &BluClausal::new().with_reduction(true));
+        let report = check_exhaustive_small(2, &BluClausal::new().with_reduction(true));
         assert!(report.all_ok(), "{:?}", report.failures);
     }
 

@@ -10,6 +10,8 @@
 use std::collections::HashMap;
 use std::fmt;
 
+use pwdb_metrics::counter;
+
 use crate::ast::{MTerm, Param, Program, STerm, Sort};
 
 /// An implementation (algebra) of the BLU signature.
@@ -150,20 +152,24 @@ pub fn eval_sterm<A: BluSemantics + ?Sized>(
     match term {
         STerm::Var(v) => env.state(v).cloned(),
         STerm::Assert(a, b) => {
+            counter!("blu.eval.assert").inc();
             let x = eval_sterm(alg, a, env)?;
             let y = eval_sterm(alg, b, env)?;
             Ok(alg.op_assert(&x, &y))
         }
         STerm::Combine(a, b) => {
+            counter!("blu.eval.combine").inc();
             let x = eval_sterm(alg, a, env)?;
             let y = eval_sterm(alg, b, env)?;
             Ok(alg.op_combine(&x, &y))
         }
         STerm::Complement(a) => {
+            counter!("blu.eval.complement").inc();
             let x = eval_sterm(alg, a, env)?;
             Ok(alg.op_complement(&x))
         }
         STerm::Mask(a, m) => {
+            counter!("blu.eval.mask").inc();
             let x = eval_sterm(alg, a, env)?;
             let mm = eval_mterm(alg, m, env)?;
             Ok(alg.op_mask(&x, &mm))
@@ -180,6 +186,7 @@ pub fn eval_mterm<A: BluSemantics + ?Sized>(
     match term {
         MTerm::Var(v) => env.mask(v).cloned(),
         MTerm::Genmask(s) => {
+            counter!("blu.eval.genmask").inc();
             let x = eval_sterm(alg, s, env)?;
             Ok(alg.op_genmask(&x))
         }
@@ -246,8 +253,7 @@ mod tests {
 
     #[test]
     fn evaluates_boolean_structure() {
-        let p = parse_program("(lambda (s0 s1) (combine (assert s0 s1) (complement s0)))")
-            .unwrap();
+        let p = parse_program("(lambda (s0 s1) (combine (assert s0 s1) (complement s0)))").unwrap();
         let out = run_program(
             &ToyAlg,
             &p,
@@ -260,8 +266,7 @@ mod tests {
     #[test]
     fn evaluates_mask_and_genmask() {
         let p = parse_program("(lambda (s0 s1) (mask s0 (genmask s1)))").unwrap();
-        let out =
-            run_program(&ToyAlg, &p, vec![Value::State(0b1), Value::State(0b1000)]).unwrap();
+        let out = run_program(&ToyAlg, &p, vec![Value::State(0b1), Value::State(0b1000)]).unwrap();
         assert_eq!(out, 0b1 | (0b1000u32.rotate_left(1) & 0xFF));
     }
 

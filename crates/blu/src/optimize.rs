@@ -38,6 +38,8 @@
 //! `Optimizer::assuming_full_universe(false)` whenever the target algebra
 //! complements relative to a proper subset of `DB[D]`.
 
+use pwdb_metrics::counter;
+
 use crate::ast::{MTerm, Program, STerm};
 
 /// Statistics from one optimization run.
@@ -167,25 +169,34 @@ impl Optimizer {
     fn rewrite_root(&self, term: &STerm) -> Option<STerm> {
         match term {
             // Idempotence.
-            STerm::Assert(a, b) | STerm::Combine(a, b) if a == b => Some((**a).clone()),
+            STerm::Assert(a, b) | STerm::Combine(a, b) if a == b => {
+                counter!("blu.optimize.rule.idempotence").inc();
+                Some((**a).clone())
+            }
 
             // Absorption and mask extensivity (commutative matching).
-            STerm::Assert(a, b) => {
-                Self::absorb_assert(a, b).or_else(|| Self::absorb_assert(b, a))
-            }
-            STerm::Combine(a, b) => {
-                Self::absorb_combine(a, b).or_else(|| Self::absorb_combine(b, a))
-            }
+            STerm::Assert(a, b) => Self::absorb_assert(a, b)
+                .or_else(|| Self::absorb_assert(b, a))
+                .inspect(|_| counter!("blu.optimize.rule.absorb_assert").inc()),
+            STerm::Combine(a, b) => Self::absorb_combine(a, b)
+                .or_else(|| Self::absorb_combine(b, a))
+                .inspect(|_| counter!("blu.optimize.rule.absorb_combine").inc()),
 
             // Involution (legal-universe assumption).
             STerm::Complement(inner) if self.assume_full_universe => match &**inner {
-                STerm::Complement(x) => Some((**x).clone()),
+                STerm::Complement(x) => {
+                    counter!("blu.optimize.rule.involution").inc();
+                    Some((**x).clone())
+                }
                 _ => None,
             },
 
             // Mask idempotence with an identical mask term.
             STerm::Mask(inner, m) => match &**inner {
-                STerm::Mask(x, m2) if m == m2 => Some((**x).clone().mask((**m).clone())),
+                STerm::Mask(x, m2) if m == m2 => {
+                    counter!("blu.optimize.rule.mask_idempotence").inc();
+                    Some((**x).clone().mask((**m).clone()))
+                }
                 _ => None,
             },
 
@@ -264,10 +275,7 @@ mod tests {
     fn mask_idempotence_same_term() {
         assert_eq!(opt("(mask (mask s0 m0) m0)"), "(mask s0 m0)");
         // Different mask terms are untouched.
-        assert_eq!(
-            opt("(mask (mask s0 m0) m1)"),
-            "(mask (mask s0 m0) m1)"
-        );
+        assert_eq!(opt("(mask (mask s0 m0) m1)"), "(mask (mask s0 m0) m1)");
     }
 
     #[test]
@@ -307,17 +315,15 @@ mod tests {
     fn program_optimization_preserves_varlist_invariant() {
         // Optimizing would drop s1 from the body; the program is returned
         // unchanged to respect Definition 2.1.2.
-        let p = crate::parser::parse_program("(lambda (s0 s1) (assert s0 (combine s0 s1)))")
-            .unwrap();
+        let p =
+            crate::parser::parse_program("(lambda (s0 s1) (assert s0 (combine s0 s1)))").unwrap();
         let (out, stats) = Optimizer::new().optimize_program(&p);
         assert_eq!(out, p);
         assert_eq!(stats.rewrites, 0);
 
         // When all variables survive, the optimization goes through.
-        let q = crate::parser::parse_program(
-            "(lambda (s0 s1) (assert (assert s0 s0) s1))",
-        )
-        .unwrap();
+        let q =
+            crate::parser::parse_program("(lambda (s0 s1) (assert (assert s0 s0) s1))").unwrap();
         let (out, stats) = Optimizer::new().optimize_program(&q);
         assert_eq!(out.body().to_string(), "(assert s0 s1)");
         assert!(stats.rewrites >= 1);

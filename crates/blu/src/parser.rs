@@ -186,10 +186,7 @@ mod tests {
                      (assert (mask s0 (genmask s1)) s1))";
         let p = parse_program(src).unwrap();
         assert_eq!(p.arity(), 2);
-        assert_eq!(
-            p.body().to_string(),
-            "(assert (mask s0 (genmask s1)) s1)"
-        );
+        assert_eq!(p.body().to_string(), "(assert (mask s0 (genmask s1)) s1)");
         assert_eq!(p.params()[1].sort, Sort::State);
     }
 
@@ -211,7 +208,8 @@ mod tests {
 
     #[test]
     fn parse_display_roundtrip() {
-        let src = "(lambda (s0 s1 s2) (combine (assert s1 (mask s0 (genmask s2))) (complement s0)))";
+        let src =
+            "(lambda (s0 s1 s2) (combine (assert s1 (mask s0 (genmask s2))) (complement s0)))";
         let p = parse_program(src).unwrap();
         let p2 = parse_program(&p.to_string()).unwrap();
         assert_eq!(p, p2);

@@ -89,9 +89,7 @@ impl Flock {
 
     /// Whether `wff` holds in every model of every theory.
     pub fn certain(&self, wff: &Wff) -> bool {
-        self.theories
-            .iter()
-            .all(|t| pwdb_logic::entails(t, wff))
+        self.theories.iter().all(|t| pwdb_logic::entails(t, wff))
     }
 
     /// The possible worlds of the flock over `n` atoms: the union of the
@@ -130,10 +128,7 @@ pub fn maximal_nonentailing_subsets(theory: &ClauseSet, alpha: &Wff) -> Vec<Clau
 /// Enumerates the maximal subsets of `theory` satisfying a monotone-down
 /// predicate (if a set fails, its supersets fail). Exponential search with
 /// early exit on the full set; theories here are small by construction.
-fn maximal_subsets_where(
-    theory: &ClauseSet,
-    pred: impl Fn(&ClauseSet) -> bool,
-) -> Vec<ClauseSet> {
+fn maximal_subsets_where(theory: &ClauseSet, pred: impl Fn(&ClauseSet) -> bool) -> Vec<ClauseSet> {
     let clauses: Vec<Clause> = theory.iter().cloned().collect();
     let k = clauses.len();
     assert!(k <= 20, "flock theories must stay small (got {k} clauses)");

@@ -138,10 +138,8 @@ impl Fragment {
                 *fresh += 1;
                 let cond_var = || STerm::var(&name);
                 // Then-branch sees S ∩ pw(W); else-branch S \ pw(W).
-                let then_frag =
-                    Self::expand(p_then, state.clone().assert(cond_var()), fresh);
-                let else_frag =
-                    Self::expand(p_else, state.assert(cond_var().complement()), fresh);
+                let then_frag = Self::expand(p_then, state.clone().assert(cond_var()), fresh);
+                let else_frag = Self::expand(p_else, state.assert(cond_var().complement()), fresh);
                 let mut params = vec![(name, ArgValue::State(cond.clone()))];
                 params.extend(then_frag.params);
                 params.extend(else_frag.params);
@@ -293,11 +291,7 @@ mod tests {
 
     #[test]
     fn where2_both_branches_expand() {
-        let p = HluProgram::where2(
-            a(2),
-            HluProgram::Insert(a(0)),
-            HluProgram::Delete(a(1)),
-        );
+        let p = HluProgram::where2(a(2), HluProgram::Insert(a(0)), HluProgram::Delete(a(1)));
         let c = compile(&p);
         let text = c.program.to_string();
         // Then-branch operates on (assert s0 s1), else-branch on
@@ -315,12 +309,7 @@ mod tests {
         // Parameters: outer cond + 2×(inner cond + insert param) = 5.
         assert_eq!(c.args.len(), 5);
         // All parameter names are distinct (collision freedom).
-        let mut names: Vec<&str> = c
-            .program
-            .params()
-            .iter()
-            .map(|p| p.name.as_str())
-            .collect();
+        let mut names: Vec<&str> = c.program.params().iter().map(|p| p.name.as_str()).collect();
         let before = names.len();
         names.sort_unstable();
         names.dedup();

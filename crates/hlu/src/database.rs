@@ -19,6 +19,7 @@ use std::collections::BTreeSet;
 
 use pwdb_blu::{run_program, BluClausal, BluInstance, BluSemantics, Value};
 use pwdb_logic::{cnf_of, AtomId, ClauseSet, Wff};
+use pwdb_metrics::{counter, timer};
 use pwdb_worlds::{Schema, WorldSet};
 
 use crate::ast::HluProgram;
@@ -199,9 +200,11 @@ impl<B: HluBackend> Database<B> {
 
     /// Runs one HLU program against the current state.
     pub fn run(&mut self, prog: &HluProgram) {
+        counter!("hlu.stmt.total").inc();
+        stmt_counter(prog).inc();
+        let _t = timer!("hlu.update.wall").start();
         let compiled = compile(prog);
-        let mut args: Vec<Value<B::State, B::Mask>> =
-            Vec::with_capacity(compiled.args.len() + 1);
+        let mut args: Vec<Value<B::State, B::Mask>> = Vec::with_capacity(compiled.args.len() + 1);
         args.push(Value::State(self.state.clone()));
         for a in &compiled.args {
             args.push(match a {
@@ -212,6 +215,8 @@ impl<B: HluBackend> Database<B> {
         let mut next = run_program(&self.backend, &compiled.program, args)
             .expect("compiled programs bind all parameters");
         if let Some(con) = &self.constraints {
+            counter!("hlu.constraints.enforcements").inc();
+            let _tc = timer!("hlu.constraints.wall").start();
             next = self
                 .backend
                 .op_assert(&next, &self.backend.lower_state(con));
@@ -247,11 +252,15 @@ impl<B: HluBackend> Database<B> {
 
     /// Whether `wff` holds in every possible world.
     pub fn is_certain(&self, wff: &Wff) -> bool {
+        counter!("hlu.query.certain.calls").inc();
+        let _t = timer!("hlu.query.certain.wall").start();
         self.backend.certain(&self.state, wff)
     }
 
     /// Whether `wff` holds in at least one possible world.
     pub fn is_possible(&self, wff: &Wff) -> bool {
+        counter!("hlu.query.possible.calls").inc();
+        let _t = timer!("hlu.query.possible.wall").start();
         !self.backend.certain(&self.state, &wff.clone().not())
             && self.backend.consistent(&self.state)
     }
@@ -311,6 +320,19 @@ impl<B: HluBackend> Database<B> {
             self.rollback_to(saved);
         }
         keep
+    }
+}
+
+/// The per-variant statement counter for [`Database::run`].
+fn stmt_counter(prog: &HluProgram) -> &'static pwdb_metrics::Counter {
+    match prog {
+        HluProgram::Identity => counter!("hlu.stmt.identity"),
+        HluProgram::Assert(_) => counter!("hlu.stmt.assert"),
+        HluProgram::Clear(_) => counter!("hlu.stmt.clear"),
+        HluProgram::Insert(_) => counter!("hlu.stmt.insert"),
+        HluProgram::Delete(_) => counter!("hlu.stmt.delete"),
+        HluProgram::Modify(_, _) => counter!("hlu.stmt.modify"),
+        HluProgram::Where(_, _, _) => counter!("hlu.stmt.where"),
     }
 }
 

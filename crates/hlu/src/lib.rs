@@ -27,5 +27,7 @@ pub mod parser;
 
 pub use ast::HluProgram;
 pub use compile::{compile, ArgValue, Compiled};
-pub use database::{ClausalDatabase, Database, HluBackend, InstanceDatabase, Savepoint, UpdateRejected};
+pub use database::{
+    ClausalDatabase, Database, HluBackend, InstanceDatabase, Savepoint, UpdateRejected,
+};
 pub use parser::{parse_hlu, parse_hlu_script};

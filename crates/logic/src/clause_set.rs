@@ -269,19 +269,15 @@ mod tests {
 
     #[test]
     fn length_sums_clause_lengths() {
-        let s = ClauseSet::from_clauses([
-            Clause::new(vec![lp(0), lp(1)]),
-            Clause::new(vec![ln(2)]),
-        ]);
+        let s =
+            ClauseSet::from_clauses([Clause::new(vec![lp(0), lp(1)]), Clause::new(vec![ln(2)])]);
         assert_eq!(s.length(), 3);
     }
 
     #[test]
     fn props_and_literals() {
-        let s = ClauseSet::from_clauses([
-            Clause::new(vec![lp(0), ln(2)]),
-            Clause::new(vec![lp(2)]),
-        ]);
+        let s =
+            ClauseSet::from_clauses([Clause::new(vec![lp(0), ln(2)]), Clause::new(vec![lp(2)])]);
         let props: Vec<u32> = s.props().into_iter().map(|a| a.0).collect();
         assert_eq!(props, vec![0, 2]);
         assert_eq!(s.literals().len(), 3);
@@ -351,10 +347,8 @@ mod tests {
 
     #[test]
     fn display_canonical_order() {
-        let s = ClauseSet::from_clauses([
-            Clause::new(vec![lp(1)]),
-            Clause::new(vec![lp(0), ln(1)]),
-        ]);
+        let s =
+            ClauseSet::from_clauses([Clause::new(vec![lp(1)]), Clause::new(vec![lp(0), ln(1)])]);
         assert_eq!(s.to_string(), "{A1 | !A2, A2}");
     }
 }

@@ -8,6 +8,8 @@
 //! case (counting is #P-complete), but exact, and fast on the clause
 //! sets these databases hold.
 
+use pwdb_metrics::counter;
+
 use crate::atom::AtomId;
 use crate::clause_set::ClauseSet;
 use crate::literal::Literal;
@@ -36,6 +38,7 @@ pub fn count_models(set: &ClauseSet, n_atoms: usize) -> u64 {
 /// Recursive counter: returns the number of total extensions of the
 /// current partial assignment satisfying all clauses.
 fn count(clauses: &[Vec<Literal>], values: &mut Vec<Option<bool>>) -> u64 {
+    counter!("logic.counting.recursive_calls").inc();
     // Unit propagation; propagated atoms are recorded for backtracking.
     let mut trail: Vec<usize> = Vec::new();
     loop {
@@ -170,19 +173,15 @@ mod tests {
 
     #[test]
     fn agrees_with_enumeration_on_random_sets() {
-        use rand::rngs::StdRng;
-        use rand::{Rng, SeedableRng};
-        let mut rng = StdRng::seed_from_u64(0xC0FFEE);
+        let mut rng = crate::rng::Rng::new(0xC0FFEE);
         for _ in 0..300 {
-            let n = rng.gen_range(1..=7usize);
-            let k = rng.gen_range(0..=8usize);
+            let n = rng.range_usize(1, 8);
+            let k = rng.range_usize(0, 9);
             let mut s = ClauseSet::new();
             for _ in 0..k {
-                let w = rng.gen_range(1..=3usize);
+                let w = rng.range_usize(1, 4);
                 let lits: Vec<Literal> = (0..w)
-                    .map(|_| {
-                        Literal::new(AtomId(rng.gen_range(0..n as u32)), rng.gen_bool(0.5))
-                    })
+                    .map(|_| Literal::new(AtomId(rng.below(n as u64) as u32), rng.coin()))
                     .collect();
                 s.insert(crate::clause::Clause::new(lits));
             }

@@ -8,6 +8,8 @@
 //! literals and clause learning would be over-engineering, but the solver
 //! is exact and handles the worst cases the benchmarks construct.
 
+use pwdb_metrics::counter;
+
 use crate::atom::AtomId;
 use crate::clause::Clause;
 use crate::clause_set::ClauseSet;
@@ -70,6 +72,7 @@ impl Solver {
 
     /// Solves under the given assumption literals.
     pub fn solve_with(&self, assumptions: &[Literal]) -> SatResult {
+        counter!("logic.dpll.solves").inc();
         let mut values: Vec<Option<bool>> = vec![None; self.n_atoms];
         for &lit in assumptions {
             let idx = lit.atom().index();
@@ -121,10 +124,14 @@ impl Solver {
             for clause in &self.clauses {
                 match Self::clause_state(clause, values) {
                     None => {}
-                    Some(open) if open.is_empty() => return false, // conflict
+                    Some(open) if open.is_empty() => {
+                        counter!("logic.dpll.conflicts").inc();
+                        return false;
+                    }
                     Some(open) if open.len() == 1 => {
                         let lit = open[0];
                         values[lit.atom().index()] = Some(lit.is_positive());
+                        counter!("logic.dpll.propagations").inc();
                         changed = true;
                     }
                     Some(_) => {}
@@ -144,6 +151,7 @@ impl Solver {
         for clause in &self.clauses {
             if let Some(open) = Self::clause_state(clause, values) {
                 if open.is_empty() {
+                    counter!("logic.dpll.conflicts").inc();
                     return false;
                 }
                 any_open = true;
@@ -177,6 +185,7 @@ impl Solver {
         }
 
         let atom = branch.expect("open clause implies an unassigned literal");
+        counter!("logic.dpll.decisions").inc();
         let idx = atom.index();
         let snapshot = values.clone();
         values[idx] = Some(true);
@@ -215,8 +224,7 @@ pub fn entails_clauses(a: &ClauseSet, b: &ClauseSet) -> bool {
         if c.is_tautology() {
             return true;
         }
-        let assumptions: Vec<Literal> =
-            c.literals().iter().map(|&l| l.negated()).collect();
+        let assumptions: Vec<Literal> = c.literals().iter().map(|&l| l.negated()).collect();
         !solver.solve_with(&assumptions).is_sat()
     })
 }
@@ -279,10 +287,7 @@ mod tests {
         assert!(solver.solve_with(&[n1]).is_sat());
         assert_eq!(solver.solve_with(&[n1, n2]), SatResult::Unsat);
         // Contradictory assumptions.
-        assert_eq!(
-            solver.solve_with(&[n1, n1.negated()]),
-            SatResult::Unsat
-        );
+        assert_eq!(solver.solve_with(&[n1, n1.negated()]), SatResult::Unsat);
     }
 
     #[test]
@@ -317,21 +322,16 @@ mod tests {
 
     #[test]
     fn agrees_with_truth_table_on_random_sets() {
-        use rand::rngs::StdRng;
-        use rand::{Rng, SeedableRng};
-        let mut rng = StdRng::seed_from_u64(0xBEEF);
+        let mut rng = crate::rng::Rng::new(0xBEEF);
         for _ in 0..200 {
-            let n = rng.gen_range(1..=5usize);
-            let k = rng.gen_range(0..=6usize);
+            let n = rng.range_usize(1, 6);
+            let k = rng.range_usize(0, 7);
             let mut s = ClauseSet::new();
             for _ in 0..k {
-                let w = rng.gen_range(1..=3usize);
+                let w = rng.range_usize(1, 4);
                 let lits: Vec<Literal> = (0..w)
                     .map(|_| {
-                        Literal::new(
-                            crate::atom::AtomId(rng.gen_range(0..n as u32)),
-                            rng.gen_bool(0.5),
-                        )
+                        Literal::new(crate::atom::AtomId(rng.below(n as u64) as u32), rng.coin())
                     })
                     .collect();
                 s.insert(crate::clause::Clause::new(lits));

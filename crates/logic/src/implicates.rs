@@ -42,8 +42,7 @@ pub fn prime_implicates(set: &ClauseSet) -> ClauseSet {
                 for c2 in &snapshot[..i] {
                     for (a, b) in [(c1, c2), (c2, c1)] {
                         if let Some(r) = resolvent(a, b, atom) {
-                            if !r.is_tautology() && insert_with_subsumption(&mut current, r)
-                            {
+                            if !r.is_tautology() && insert_with_subsumption(&mut current, r) {
                                 added = true;
                             }
                         }
@@ -173,19 +172,15 @@ mod tests {
 
     #[test]
     fn agrees_with_brute_force_on_random_sets() {
-        use rand::rngs::StdRng;
-        use rand::{Rng, SeedableRng};
-        let mut rng = StdRng::seed_from_u64(0x7150);
+        let mut rng = crate::rng::Rng::new(0x7150);
         for _ in 0..40 {
-            let n = rng.gen_range(1..=4usize);
-            let k = rng.gen_range(0..=5usize);
+            let n = rng.range_usize(1, 5);
+            let k = rng.range_usize(0, 6);
             let mut s = ClauseSet::new();
             for _ in 0..k {
-                let w = rng.gen_range(1..=3usize);
+                let w = rng.range_usize(1, 4);
                 let lits: Vec<Literal> = (0..w)
-                    .map(|_| {
-                        Literal::new(AtomId(rng.gen_range(0..n as u32)), rng.gen_bool(0.5))
-                    })
+                    .map(|_| Literal::new(AtomId(rng.below(n as u64) as u32), rng.coin()))
                     .collect();
                 s.insert(Clause::new(lits));
             }

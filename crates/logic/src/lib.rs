@@ -43,6 +43,7 @@ pub mod implicates;
 pub mod literal;
 pub mod parser;
 pub mod resolution;
+pub mod rng;
 pub mod semantics;
 pub mod subsumption;
 pub mod truth;
@@ -58,6 +59,7 @@ pub use error::{LogicError, Result};
 pub use implicates::{is_implicate, is_prime_implicate, prime_implicates};
 pub use literal::Literal;
 pub use parser::{parse_clause, parse_clause_set, parse_wff};
+pub use rng::Rng;
 pub use semantics::{dep, models, sat, theory_contains};
 pub use truth::Assignment;
 pub use wff::Wff;

@@ -8,6 +8,8 @@
 
 use std::collections::BTreeSet;
 
+use pwdb_metrics::counter;
+
 use crate::atom::AtomId;
 use crate::clause::Clause;
 use crate::clause_set::ClauseSet;
@@ -24,6 +26,7 @@ pub fn resolvent(c1: &Clause, c2: &Clause, atom: AtomId) -> Option<Clause> {
     let mut lits: Vec<Literal> = Vec::with_capacity(c1.len() + c2.len() - 2);
     lits.extend(c1.literals().iter().copied().filter(|&l| l != pos));
     lits.extend(c2.literals().iter().copied().filter(|&l| l != neg));
+    counter!("logic.resolution.resolvents").inc();
     Some(Clause::new(lits))
 }
 

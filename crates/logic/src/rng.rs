@@ -1,0 +1,127 @@
+//! A tiny deterministic PRNG for tests and benchmarks.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! cannot depend on `rand`; this SplitMix64 generator (Steele, Lea &
+//! Flood, OOPSLA 2014 — the same mixer `java.util.SplittableRandom`
+//! uses) is more than adequate for seeded property tests and workload
+//! generation, and its determinism is exactly what reproducible
+//! experiments need. Not cryptographic; do not use it for anything
+//! security-relevant.
+
+/// A seeded SplitMix64 pseudo-random number generator.
+#[derive(Debug, Clone)]
+pub struct Rng {
+    state: u64,
+}
+
+impl Rng {
+    /// A generator whose whole stream is determined by `seed`.
+    pub fn new(seed: u64) -> Self {
+        Rng { state: seed }
+    }
+
+    /// The next 64 uniformly distributed bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `0..n` (Lemire's multiply-shift; `n > 0`). The bias for
+    /// the tiny `n` used in tests is far below observability.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "Rng::below(0)");
+        ((self.next_u64() as u128 * n as u128) >> 64) as u64
+    }
+
+    /// Uniform index in `0..n`.
+    pub fn index(&mut self, n: usize) -> usize {
+        self.below(n as u64) as usize
+    }
+
+    /// Uniform in the half-open range `lo..hi` (`lo < hi`).
+    pub fn range_usize(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(lo < hi, "empty range {lo}..{hi}");
+        lo + self.index(hi - lo)
+    }
+
+    /// Uniform in the half-open range `lo..hi` over `u64`.
+    pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range {lo}..{hi}");
+        lo + self.below(hi - lo)
+    }
+
+    /// A fair coin.
+    pub fn coin(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+
+    /// `true` with probability `p`.
+    pub fn bool_with(&mut self, p: f64) -> bool {
+        // 53 uniform mantissa bits, the standard [0,1) construction.
+        let u = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        u < p
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.index(i + 1);
+            xs.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let mut a = Rng::new(42);
+        let mut b = Rng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = Rng::new(43);
+        assert_ne!(Rng::new(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn below_stays_in_range_and_hits_everything() {
+        let mut r = Rng::new(7);
+        let mut seen = [false; 5];
+        for _ in 0..1000 {
+            let v = r.below(5) as usize;
+            assert!(v < 5);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues reachable");
+    }
+
+    #[test]
+    fn range_and_coin_behave() {
+        let mut r = Rng::new(99);
+        for _ in 0..1000 {
+            let v = r.range_usize(3, 9);
+            assert!((3..9).contains(&v));
+        }
+        let heads = (0..1000).filter(|_| r.coin()).count();
+        assert!((300..700).contains(&heads), "coin roughly fair: {heads}");
+        let often = (0..1000).filter(|_| r.bool_with(0.9)).count();
+        assert!(often > 800, "bool_with(0.9) mostly true: {often}");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut r = Rng::new(5);
+        let mut xs: Vec<u32> = (0..50).collect();
+        r.shuffle(&mut xs);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(xs, sorted, "50 elements virtually never stay sorted");
+    }
+}

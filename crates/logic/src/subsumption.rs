@@ -6,6 +6,8 @@
 //! shrinks, and keeps the clause-level states close to canonical so that
 //! emulation checks against the instance level stay tractable.
 
+use pwdb_metrics::counter;
+
 use crate::clause::Clause;
 use crate::clause_set::ClauseSet;
 
@@ -18,14 +20,15 @@ pub fn is_subsumed_by(set: &ClauseSet, clause: &Clause) -> bool {
 /// the clause is skipped if subsumed by a member, and members it subsumes
 /// are removed. Tautologies are skipped. Returns whether `set` changed.
 pub fn insert_with_subsumption(set: &mut ClauseSet, clause: Clause) -> bool {
-    if clause.is_tautology() || is_subsumed_by(set, &clause) {
+    if clause.is_tautology() {
         return false;
     }
-    let doomed: Vec<Clause> = set
-        .iter()
-        .filter(|c| clause.subsumes(c))
-        .cloned()
-        .collect();
+    if is_subsumed_by(set, &clause) {
+        counter!("logic.subsumption.forward_hits").inc();
+        return false;
+    }
+    let doomed: Vec<Clause> = set.iter().filter(|c| clause.subsumes(c)).cloned().collect();
+    counter!("logic.subsumption.backward_hits").add(doomed.len() as u64);
     for c in &doomed {
         set.remove(c);
     }

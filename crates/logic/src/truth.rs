@@ -26,7 +26,10 @@ impl Assignment {
     /// Creates the all-false assignment over `n` atoms.
     pub fn all_false(n: usize) -> Self {
         assert!(n <= MAX_ATOMS, "at most {MAX_ATOMS} atoms supported");
-        Assignment { bits: 0, n: n as u8 }
+        Assignment {
+            bits: 0,
+            n: n as u8,
+        }
     }
 
     /// Creates an assignment from raw bits; bits at positions `≥ n` are

@@ -1,0 +1,234 @@
+//! `pwdb-metrics`: a zero-dependency observability layer.
+//!
+//! The paper's central empirical claims are complexity bounds (Theorems
+//! 2.3.4(b), 2.3.6(b), 2.3.9(b)); this crate makes those costs visible at
+//! runtime without pulling in any external crate. It provides three metric
+//! kinds, all hand-rolled on `std::sync::atomic` and `std::time::Instant`:
+//!
+//! * [`Counter`] — a monotone `AtomicU64` event count;
+//! * [`Timer`] — accumulated wall time (count + total nanoseconds),
+//!   recorded via a drop guard from [`Timer::start`];
+//! * [`Histogram`] — a log2-bucketed size distribution (count, sum and
+//!   one bucket per power of two).
+//!
+//! Metrics are named with dotted paths (`"blu.combine.calls"`) and live in
+//! a global registry; handles are `&'static` and lock-free on the hot
+//! path. The [`counter!`], [`timer!`] and [`histogram!`] macros cache the
+//! registry lookup in a per-call-site `OnceLock` so steady-state cost is
+//! one relaxed atomic op.
+//!
+//! # Feature-gated no-op mode
+//!
+//! With the `enabled` feature off (build the workspace with
+//! `--no-default-features`) every type becomes a zero-sized struct with
+//! inlined empty methods and the macros expand to a `'static` promoted
+//! unit reference, so instrumented call sites compile to nothing. The
+//! [`MetricsSnapshot`] type is available in both modes; in no-op mode
+//! [`snapshot`] returns an empty one.
+
+pub mod json;
+mod snapshot;
+
+pub use snapshot::{HistogramStat, MetricsSnapshot, TimerStat};
+
+#[cfg(feature = "enabled")]
+mod real;
+#[cfg(feature = "enabled")]
+pub use real::{counter, histogram, reset, snapshot, timer, Counter, Histogram, Timer, TimerGuard};
+
+#[cfg(not(feature = "enabled"))]
+mod noop;
+#[cfg(not(feature = "enabled"))]
+pub use noop::{counter, histogram, reset, snapshot, timer, Counter, Histogram, Timer, TimerGuard};
+
+/// Look up (and cache per call site) the counter with the given name.
+#[cfg(feature = "enabled")]
+#[macro_export]
+macro_rules! counter {
+    ($name:expr) => {{
+        static __PWDB_COUNTER: ::std::sync::OnceLock<&'static $crate::Counter> =
+            ::std::sync::OnceLock::new();
+        *__PWDB_COUNTER.get_or_init(|| $crate::counter($name))
+    }};
+}
+
+/// No-op expansion: a `'static` zero-sized handle; calls inline to nothing.
+#[cfg(not(feature = "enabled"))]
+#[macro_export]
+macro_rules! counter {
+    ($name:expr) => {
+        &$crate::Counter
+    };
+}
+
+/// Look up (and cache per call site) the timer with the given name.
+#[cfg(feature = "enabled")]
+#[macro_export]
+macro_rules! timer {
+    ($name:expr) => {{
+        static __PWDB_TIMER: ::std::sync::OnceLock<&'static $crate::Timer> =
+            ::std::sync::OnceLock::new();
+        *__PWDB_TIMER.get_or_init(|| $crate::timer($name))
+    }};
+}
+
+/// No-op expansion: a `'static` zero-sized handle; calls inline to nothing.
+#[cfg(not(feature = "enabled"))]
+#[macro_export]
+macro_rules! timer {
+    ($name:expr) => {
+        &$crate::Timer
+    };
+}
+
+/// Look up (and cache per call site) the histogram with the given name.
+#[cfg(feature = "enabled")]
+#[macro_export]
+macro_rules! histogram {
+    ($name:expr) => {{
+        static __PWDB_HISTOGRAM: ::std::sync::OnceLock<&'static $crate::Histogram> =
+            ::std::sync::OnceLock::new();
+        *__PWDB_HISTOGRAM.get_or_init(|| $crate::histogram($name))
+    }};
+}
+
+/// No-op expansion: a `'static` zero-sized handle; calls inline to nothing.
+#[cfg(not(feature = "enabled"))]
+#[macro_export]
+macro_rules! histogram {
+    ($name:expr) => {
+        &$crate::Histogram
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[cfg(feature = "enabled")]
+    #[test]
+    fn counters_are_monotone() {
+        let c = counter("test.monotone");
+        let mut last = c.get();
+        for i in 1..=100u64 {
+            if i % 3 == 0 {
+                c.add(i);
+            } else {
+                c.inc();
+            }
+            let now = c.get();
+            assert!(now > last, "counter must strictly grow on inc/add");
+            last = now;
+        }
+    }
+
+    #[cfg(feature = "enabled")]
+    #[test]
+    fn macro_caches_same_handle() {
+        let a = counter!("test.macro_cached");
+        a.inc();
+        let b = counter!("test.macro_cached_other");
+        b.add(2);
+        assert_eq!(counter("test.macro_cached").get(), 1);
+        assert_eq!(counter("test.macro_cached_other").get(), 2);
+    }
+
+    #[cfg(feature = "enabled")]
+    #[test]
+    fn timer_accumulates() {
+        let t = timer("test.timer");
+        {
+            let _g = t.start();
+            std::hint::black_box(1 + 1);
+        }
+        assert_eq!(t.count(), 1);
+        {
+            let _g = t.start();
+        }
+        assert_eq!(t.count(), 2);
+    }
+
+    #[cfg(feature = "enabled")]
+    #[test]
+    fn histogram_buckets_by_log2() {
+        let h = histogram("test.hist");
+        for v in [0u64, 1, 2, 3, 4, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.sum(), 1010);
+        let snap = snapshot();
+        let stat = &snap.histograms["test.hist"];
+        // 0 -> bucket 0; 1 -> bucket 1; 2,3 -> bucket 2; 4 -> bucket 3;
+        // 1000 -> bucket 10.
+        assert_eq!(stat.buckets[&0], 1);
+        assert_eq!(stat.buckets[&1], 1);
+        assert_eq!(stat.buckets[&2], 2);
+        assert_eq!(stat.buckets[&3], 1);
+        assert_eq!(stat.buckets[&10], 1);
+    }
+
+    #[cfg(feature = "enabled")]
+    #[test]
+    fn snapshot_delta_subtracts() {
+        let c = counter("test.delta");
+        c.add(5);
+        let before = snapshot();
+        c.add(7);
+        let after = snapshot();
+        assert_eq!(after.delta(&before).counter("test.delta"), 7);
+    }
+
+    /// In no-op mode the whole API must still typecheck and run — and
+    /// observe nothing.
+    #[cfg(not(feature = "enabled"))]
+    #[test]
+    fn noop_mode_observes_nothing() {
+        let c = counter!("test.noop");
+        c.inc();
+        c.add(10);
+        assert_eq!(c.get(), 0);
+        let t = timer!("test.noop.t");
+        {
+            let _g = t.start();
+        }
+        assert_eq!(t.count(), 0);
+        let h = histogram!("test.noop.h");
+        h.record(42);
+        assert_eq!(h.sum(), 0);
+        assert!(snapshot().counters.is_empty());
+        // Zero-cost claim, structurally: all handles are zero-sized.
+        assert_eq!(std::mem::size_of::<Counter>(), 0);
+        assert_eq!(std::mem::size_of::<Timer>(), 0);
+        assert_eq!(std::mem::size_of::<TimerGuard>(), 0);
+        assert_eq!(std::mem::size_of::<Histogram>(), 0);
+    }
+
+    #[test]
+    fn snapshot_json_roundtrip() {
+        let mut snap = MetricsSnapshot::default();
+        snap.counters.insert("a.b".into(), 3);
+        snap.counters.insert("a.c".into(), u64::MAX);
+        snap.timers.insert(
+            "t.x".into(),
+            TimerStat {
+                count: 2,
+                total_ns: 12345,
+            },
+        );
+        let mut buckets = std::collections::BTreeMap::new();
+        buckets.insert(0u32, 1u64);
+        buckets.insert(7, 4);
+        snap.histograms.insert(
+            "h.y".into(),
+            HistogramStat {
+                count: 5,
+                sum: 640,
+                buckets,
+            },
+        );
+        let text = snap.to_json();
+        let back = MetricsSnapshot::from_json(&text).expect("parse back");
+        assert_eq!(back, snap);
+    }
+}

@@ -1,0 +1,95 @@
+//! The no-op mirror of [`crate::real`], compiled when the `enabled`
+//! feature is off. Every type is zero-sized and every method is an
+//! inlined empty body, so instrumented call sites optimize away entirely.
+
+use std::time::Duration;
+
+use crate::MetricsSnapshot;
+
+/// Zero-sized no-op counter.
+#[derive(Debug)]
+pub struct Counter;
+
+impl Counter {
+    #[inline(always)]
+    pub fn inc(&self) {}
+
+    #[inline(always)]
+    pub fn add(&self, _n: u64) {}
+
+    #[inline(always)]
+    pub fn get(&self) -> u64 {
+        0
+    }
+}
+
+/// Zero-sized no-op timer.
+#[derive(Debug)]
+pub struct Timer;
+
+impl Timer {
+    #[inline(always)]
+    pub fn start(&self) -> TimerGuard {
+        TimerGuard
+    }
+
+    #[inline(always)]
+    pub fn observe(&self, _elapsed: Duration) {}
+
+    #[inline(always)]
+    pub fn count(&self) -> u64 {
+        0
+    }
+
+    #[inline(always)]
+    pub fn total_ns(&self) -> u64 {
+        0
+    }
+}
+
+/// Zero-sized no-op guard.
+#[must_use = "kept for signature parity with the enabled build"]
+pub struct TimerGuard;
+
+/// Zero-sized no-op histogram.
+#[derive(Debug)]
+pub struct Histogram;
+
+impl Histogram {
+    #[inline(always)]
+    pub fn record(&self, _value: u64) {}
+
+    #[inline(always)]
+    pub fn count(&self) -> u64 {
+        0
+    }
+
+    #[inline(always)]
+    pub fn sum(&self) -> u64 {
+        0
+    }
+}
+
+#[inline(always)]
+pub fn counter(_name: &'static str) -> &'static Counter {
+    &Counter
+}
+
+#[inline(always)]
+pub fn timer(_name: &'static str) -> &'static Timer {
+    &Timer
+}
+
+#[inline(always)]
+pub fn histogram(_name: &'static str) -> &'static Histogram {
+    &Histogram
+}
+
+/// Always empty in no-op mode.
+#[inline(always)]
+pub fn snapshot() -> MetricsSnapshot {
+    MetricsSnapshot::default()
+}
+
+#[inline(always)]
+pub fn reset() {}

@@ -138,10 +138,7 @@ impl QuantClause {
 
     /// Number of ground instances.
     pub fn instance_count(&self, algebra: &TypeAlgebra) -> usize {
-        self.vars
-            .iter()
-            .map(|t| algebra.members(t).len())
-            .product()
+        self.vars.iter().map(|t| algebra.members(t).len()).product()
     }
 }
 

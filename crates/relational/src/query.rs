@@ -63,10 +63,7 @@ impl ConjunctiveQuery {
     /// Evaluates the query over one complete relational instance given as
     /// a membership predicate, enumerating homomorphisms by backtracking
     /// over the body atoms against the listed facts.
-    fn eval_instance(
-        &self,
-        facts_of: &dyn Fn(RelId) -> Vec<Vec<u32>>,
-    ) -> BTreeSet<Vec<u32>> {
+    fn eval_instance(&self, facts_of: &dyn Fn(RelId) -> Vec<Vec<u32>>) -> BTreeSet<Vec<u32>> {
         let mut out = BTreeSet::new();
         let mut binding: Vec<(String, u32)> = Vec::new();
         self.search(0, facts_of, &mut binding, &mut out);
@@ -214,7 +211,10 @@ mod tests {
         let sales = a.constant("sales").unwrap();
         let t1 = a.constant("t1").unwrap();
         let mut store = NullStore::new();
-        store.add_fact(works, vec![SymRef::External(jones), SymRef::External(sales)]);
+        store.add_fact(
+            works,
+            vec![SymRef::External(jones), SymRef::External(sales)],
+        );
         store.add_fact(phone, vec![SymRef::External(jones), SymRef::External(t1)]);
 
         // q(d, t) ← Works(p, d), Phone(p, t): join on the person.
@@ -244,7 +244,9 @@ mod tests {
         let jones = a.constant("jones").unwrap();
         let telno = TypeExpr::Base(a.type_id("telno").unwrap());
         let mut store = NullStore::new();
-        let u = store.dictionary_mut().activate(CategoryExpr::of_type(telno));
+        let u = store
+            .dictionary_mut()
+            .activate(CategoryExpr::of_type(telno));
         store.add_fact(phone, vec![SymRef::External(jones), u]);
 
         // q(t) ← Phone(jones, t).
@@ -270,7 +272,9 @@ mod tests {
         let jones = a.constant("jones").unwrap();
         let telno = TypeExpr::Base(a.type_id("telno").unwrap());
         let mut store = NullStore::new();
-        let u = store.dictionary_mut().activate(CategoryExpr::of_type(telno));
+        let u = store
+            .dictionary_mut()
+            .activate(CategoryExpr::of_type(telno));
         store.add_fact(phone, vec![SymRef::External(jones), u]);
 
         let q = ConjunctiveQuery::new(
@@ -295,7 +299,9 @@ mod tests {
         let smith = a.constant("smith").unwrap();
         let telno = TypeExpr::Base(a.type_id("telno").unwrap());
         let mut store = NullStore::new();
-        let u = store.dictionary_mut().activate(CategoryExpr::of_type(telno));
+        let u = store
+            .dictionary_mut()
+            .activate(CategoryExpr::of_type(telno));
         store.add_fact(phone, vec![SymRef::External(jones), u]);
         store.add_fact(phone, vec![SymRef::External(smith), u]);
 
@@ -332,7 +338,9 @@ mod tests {
         let u = store
             .dictionary_mut()
             .activate(CategoryExpr::of_type(telno.clone()));
-        let w = store.dictionary_mut().activate(CategoryExpr::of_type(telno));
+        let w = store
+            .dictionary_mut()
+            .activate(CategoryExpr::of_type(telno));
         store.add_fact(phone, vec![SymRef::External(jones), u]);
         store.add_fact(phone, vec![SymRef::External(smith), w]);
 

@@ -121,9 +121,10 @@ impl NullStore {
         self.facts.iter().any(|f| {
             f.rel == rel
                 && f.args.len() == tuple.len()
-                && f.args.iter().zip(tuple).all(|(arg, &c)| {
-                    self.dictionary.denotation(algebra, *arg) == 1u64 << c
-                })
+                && f.args
+                    .iter()
+                    .zip(tuple)
+                    .all(|(arg, &c)| self.dictionary.denotation(algebra, *arg) == 1u64 << c)
         })
     }
 
@@ -137,9 +138,10 @@ impl NullStore {
         self.facts.iter().any(|f| {
             f.rel == rel
                 && f.args.len() == tuple.len()
-                && f.args.iter().zip(tuple).all(|(arg, &c)| {
-                    self.dictionary.denotation(algebra, *arg) & (1u64 << c) != 0
-                })
+                && f.args
+                    .iter()
+                    .zip(tuple)
+                    .all(|(arg, &c)| self.dictionary.denotation(algebra, *arg) & (1u64 << c) != 0)
         })
     }
 
@@ -267,7 +269,9 @@ mod tests {
         let jones = s.algebra().constant("jones").unwrap();
         let telno = TypeExpr::Base(s.algebra().type_id("telno").unwrap());
         let mut store = NullStore::new();
-        let u = store.dictionary_mut().activate(CategoryExpr::of_type(telno));
+        let u = store
+            .dictionary_mut()
+            .activate(CategoryExpr::of_type(telno));
         store.add_fact(r, vec![SymRef::External(jones), u]);
         let worlds = store.worlds(&s, &g);
         // One world per phone, each with exactly one Phone(jones, ·).
@@ -291,7 +295,9 @@ mod tests {
         let u = store
             .dictionary_mut()
             .activate(CategoryExpr::of_type(telno.clone()));
-        let v = store.dictionary_mut().activate(CategoryExpr::of_type(telno));
+        let v = store
+            .dictionary_mut()
+            .activate(CategoryExpr::of_type(telno));
         store.add_fact(r, vec![SymRef::External(jones), u]);
         store.add_fact(r, vec![SymRef::External(smith), v]);
         assert_eq!(store.worlds(&s, &g).len(), 9);
@@ -328,7 +334,9 @@ mod tests {
         let smith = s.algebra().constant("smith").unwrap();
         let telno = TypeExpr::Base(s.algebra().type_id("telno").unwrap());
         let mut store = NullStore::new();
-        let u = store.dictionary_mut().activate(CategoryExpr::of_type(telno));
+        let u = store
+            .dictionary_mut()
+            .activate(CategoryExpr::of_type(telno));
         // Jones and Smith share an (unknown) phone.
         store.add_fact(r, vec![SymRef::External(jones), u]);
         store.add_fact(r, vec![SymRef::External(smith), u]);
@@ -357,7 +365,9 @@ mod tests {
         let person = TypeExpr::Base(s.algebra().type_id("person").unwrap());
         let t1 = s.algebra().constant("t1").unwrap();
         let mut store = NullStore::new();
-        let who = store.dictionary_mut().activate(CategoryExpr::of_type(person));
+        let who = store
+            .dictionary_mut()
+            .activate(CategoryExpr::of_type(person));
         store.add_fact(r, vec![who, SymRef::External(t1)]);
         // The fact's person is undetermined: a Jones-pattern must not
         // remove it.
@@ -422,7 +432,9 @@ mod query_tests {
         let jones = s.algebra().constant("jones").unwrap();
         let telno = TypeExpr::Base(s.algebra().type_id("telno").unwrap());
         let mut store = NullStore::new();
-        let u = store.dictionary_mut().activate(CategoryExpr::of_type(telno));
+        let u = store
+            .dictionary_mut()
+            .activate(CategoryExpr::of_type(telno));
         store.add_fact(r, vec![SymRef::External(jones), u]);
         for t in ["t1", "t2", "t3"] {
             let tc = s.algebra().constant(t).unwrap();
@@ -457,7 +469,9 @@ mod query_tests {
         let t1 = s.algebra().constant("t1").unwrap();
         let telno = TypeExpr::Base(s.algebra().type_id("telno").unwrap());
         let mut store = NullStore::new();
-        let u = store.dictionary_mut().activate(CategoryExpr::of_type(telno));
+        let u = store
+            .dictionary_mut()
+            .activate(CategoryExpr::of_type(telno));
         store.add_fact(r, vec![SymRef::External(jones), u]);
         store.add_fact(r, vec![SymRef::External(smith), SymRef::External(t1)]);
         let worlds = store.worlds(&s, &g);

@@ -72,8 +72,18 @@ pub fn semantic_resolvent(
     }
     let unifier = semantic_unify(algebra, dict, &l1.args, &l2.args)?;
     let mut resolvent: SymClause = Vec::with_capacity(c1.len() + c2.len() - 2);
-    resolvent.extend(c1.iter().enumerate().filter(|(k, _)| *k != i).map(|(_, l)| l.clone()));
-    resolvent.extend(c2.iter().enumerate().filter(|(k, _)| *k != j).map(|(_, l)| l.clone()));
+    resolvent.extend(
+        c1.iter()
+            .enumerate()
+            .filter(|(k, _)| *k != i)
+            .map(|(_, l)| l.clone()),
+    );
+    resolvent.extend(
+        c2.iter()
+            .enumerate()
+            .filter(|(k, _)| *k != j)
+            .map(|(_, l)| l.clone()),
+    );
     Some((resolvent, unifier))
 }
 
@@ -209,8 +219,9 @@ mod tests {
             rel: r1,
             args: vec![ext(&a, "t1")],
         };
-        assert!(semantic_resolvent(&a, &d, &vec![pos.clone()], &vec![neg_other_rel], 0, 0)
-            .is_none());
+        assert!(
+            semantic_resolvent(&a, &d, &vec![pos.clone()], &vec![neg_other_rel], 0, 0).is_none()
+        );
         // Wrong orientation (negative first).
         let neg = SymLiteral {
             positive: false,
@@ -263,8 +274,7 @@ mod tests {
                 SymRef::Internal(_) => val,
             };
             for instance_bits in 0..8u32 {
-                let holds =
-                    |_rel: RelId, t: &[u32]| instance_bits & (1 << t[0]) != 0;
+                let holds = |_rel: RelId, t: &[u32]| instance_bits & (1 << t[0]) != 0;
                 let p1 = eval_clause(&c1, &value_of, &holds);
                 let p2 = eval_clause(&c2, &value_of, &holds);
                 if p1 && p2 {

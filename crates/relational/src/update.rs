@@ -103,12 +103,10 @@ pub fn find_bindings(
         // Check the conditions.
         for cond in conditions {
             match cond {
-                Condition::Eq(name, c) => {
-                    match binding.iter().find(|(n, _)| n == name) {
-                        Some((_, v)) if v == c => {}
-                        _ => continue 'facts,
-                    }
-                }
+                Condition::Eq(name, c) => match binding.iter().find(|(n, _)| n == name) {
+                    Some((_, v)) if v == c => {}
+                    _ => continue 'facts,
+                },
                 Condition::InType(name, ty) => {
                     let mask = algebra.eval(ty);
                     match binding.iter().find(|(n, _)| n == name) {
@@ -145,10 +143,7 @@ pub fn execute_where_insert(
             .iter()
             .map(|spec| match spec {
                 ArgSpec::Const(c) => Some(*c),
-                ArgSpec::Var(name) => binding
-                    .iter()
-                    .find(|(n, _)| n == name)
-                    .map(|(_, v)| *v),
+                ArgSpec::Var(name) => binding.iter().find(|(n, _)| n == name).map(|(_, v)| *v),
                 ArgSpec::Exists(_) => None,
             })
             .collect();

@@ -351,9 +351,7 @@ mod tests {
     #[test]
     fn rows_can_collapse_under_valuation() {
         // {R(x), R(a)}: when x=a the instance has one tuple.
-        let t = VTable::new(2, 1)
-            .with_row(vec![x(0)])
-            .with_row(vec![c(0)]);
+        let t = VTable::new(2, 1).with_row(vec![x(0)]).with_row(vec![c(0)]);
         let inst = t.instances();
         assert_eq!(inst.len(), 2);
         assert!(inst.contains(&BTreeSet::from([vec![0]])));
@@ -424,9 +422,7 @@ mod tests {
         // Intersection (BLU assert) of rep(R(x) ⊎ R(y)) with
         // rep({R(a)}): only the world {a} survives, which IS
         // representable; intersections are not always lost.
-        let rx_ry = VTable::new(2, 1)
-            .with_row(vec![x(0)])
-            .with_row(vec![x(1)]);
+        let rx_ry = VTable::new(2, 1).with_row(vec![x(0)]).with_row(vec![x(1)]);
         let ra = VTable::new(2, 1).with_row(vec![c(0)]);
         let asserted = rx_ry.worlds().intersect(&ra.worlds());
         assert_eq!(asserted.len(), 1);

@@ -154,23 +154,16 @@ impl WilkinsDb {
             map[a.index()] = Some(AtomId(self.next_aux));
             self.next_aux += 1;
         }
-        let rename_lit = |l: Literal, map: &[Option<AtomId>]| {
-            match map.get(l.atom().index()).copied().flatten() {
+        let rename_lit =
+            |l: Literal, map: &[Option<AtomId>]| match map.get(l.atom().index()).copied().flatten()
+            {
                 Some(fresh) => Literal::new(fresh, l.is_positive()),
                 None => l,
-            }
-        };
+            };
         let renamed: Vec<Clause> = self
             .clauses
             .iter()
-            .map(|c| {
-                Clause::new(
-                    c.literals()
-                        .iter()
-                        .map(|&l| rename_lit(l, &map))
-                        .collect(),
-                )
-            })
+            .map(|c| Clause::new(c.literals().iter().map(|&l| rename_lit(l, &map)).collect()))
             .collect();
         self.clauses = ClauseSet::from_clauses(renamed);
 
@@ -187,9 +180,7 @@ impl WilkinsDb {
         // ¬φ' → (A ↔ A') for each renamed letter.
         for &a in &touched {
             let hist = map[a.index()].expect("allocated above");
-            let frame = cond_old
-                .clone()
-                .or(Wff::Atom(a).iff(Wff::Atom(hist)));
+            let frame = cond_old.clone().or(Wff::Atom(a).iff(Wff::Atom(hist)));
             for c in cnf_of(&frame) {
                 self.clauses.insert(c);
             }

@@ -259,10 +259,6 @@ mod tests {
         assert!(literal_set_entails(&lits(&[(0, true)]), &w, 2));
         assert!(!literal_set_entails(&[], &w, 2));
         // Inconsistent literal sets entail everything vacuously.
-        assert!(literal_set_entails(
-            &lits(&[(0, true), (0, false)]),
-            &w,
-            2
-        ));
+        assert!(literal_set_entails(&lits(&[(0, true), (0, false)]), &w, 2));
     }
 }

@@ -191,9 +191,8 @@ mod tests {
 
     #[test]
     fn congruence_of_constant_insert_masks_that_atom() {
-        let f = NdMorphism::deterministic(
-            Morphism::identity(2).with_assignment(AtomId(0), Wff::True),
-        );
+        let f =
+            NdMorphism::deterministic(Morphism::identity(2).with_assignment(AtomId(0), Wff::True));
         let c = congruence(&f, 2);
         let m: Mask = [AtomId(0)].into_iter().collect();
         assert_eq!(c, simple_mask_congruence(&m, 2));

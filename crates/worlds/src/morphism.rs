@@ -112,7 +112,10 @@ pub struct NdMorphism {
 impl NdMorphism {
     /// Builds from the branch set.
     pub fn new(branches: Vec<Morphism>) -> Self {
-        assert!(!branches.is_empty(), "a nondeterministic morphism is a non-empty set");
+        assert!(
+            !branches.is_empty(),
+            "a nondeterministic morphism is a non-empty set"
+        );
         NdMorphism { branches }
     }
 
@@ -269,7 +272,7 @@ mod tests {
         use crate::Schema;
         let mut schema = Schema::with_atoms(2);
         schema.add_constraints("{!A1 | A2}").unwrap(); // A1 → A2
-        // insert[A2] preserves A1→A2 (it can only make A2 true).
+                                                       // insert[A2] preserves A1→A2 (it can only make A2 true).
         let ins_a2 = Morphism::identity(2).with_assignment(AtomId(1), Wff::True);
         assert!(ins_a2.is_correct(&schema, &schema));
         // delete[A2] can break it (a legal world with A1 becomes illegal).

@@ -76,7 +76,11 @@ pub fn insert_literals(n_atoms: usize, lits: &[Literal]) -> Result<Morphism, Upd
     for &l in lits {
         m = m.with_assignment(
             l.atom(),
-            if l.is_positive() { Wff::True } else { Wff::False },
+            if l.is_positive() {
+                Wff::True
+            } else {
+                Wff::False
+            },
         );
     }
     Ok(m)
@@ -99,7 +103,11 @@ pub fn modify_literals(
     let mut m = Morphism::identity(n_atoms);
     // Φ₂ sets its atoms outright (guarded by the condition).
     for &l in to {
-        let target = if l.is_positive() { Wff::True } else { Wff::False };
+        let target = if l.is_positive() {
+            Wff::True
+        } else {
+            Wff::False
+        };
         m = m.with_assignment(l.atom(), guarded(cond.clone(), target, l.atom()));
     }
     // Φ₁ atoms not overridden by Φ₂ are flipped to the complement.
@@ -107,7 +115,11 @@ pub fn modify_literals(
         if to.iter().any(|t| t.atom() == l.atom()) {
             continue;
         }
-        let target = if l.is_positive() { Wff::False } else { Wff::True };
+        let target = if l.is_positive() {
+            Wff::False
+        } else {
+            Wff::True
+        };
         m = m.with_assignment(l.atom(), guarded(cond.clone(), target, l.atom()));
     }
     Ok(m)

@@ -537,4 +537,117 @@ mod tests {
         let b = WorldSet::full(4);
         let _ = a.union(&b);
     }
+
+    /// Bits above the meaningful `2^n` positions must stay zero — the
+    /// equality/hash derivations and `len` depend on it.
+    fn assert_tail_clean(s: &WorldSet) {
+        let tail = WorldSet::tail_mask(s.n_atoms);
+        assert_eq!(
+            s.blocks[0] & !tail,
+            0,
+            "garbage above the tail mask for n={}",
+            s.n_atoms
+        );
+    }
+
+    #[test]
+    fn tail_mask_invariant_after_complement_small_universes() {
+        for n in 0..6usize {
+            let full = WorldSet::full(n);
+            assert_tail_clean(&full);
+            assert_eq!(full.len(), 1 << n);
+            let empty_again = full.complement();
+            assert_tail_clean(&empty_again);
+            assert!(empty_again.is_empty());
+            // Complement of empty is full, with a clean tail.
+            let back = WorldSet::empty(n).complement();
+            assert_tail_clean(&back);
+            assert!(back.is_full());
+        }
+    }
+
+    #[test]
+    fn tail_mask_invariant_after_flip_small_universes() {
+        for n in 1..6usize {
+            let mut rng = pwdb_logic::Rng::new(0x7A11 + n as u64);
+            for _ in 0..32 {
+                let mut s = WorldSet::empty(n);
+                for _ in 0..rng.range_usize(0, (1 << n) + 1) {
+                    s.insert(w(rng.below(1 << n), n));
+                }
+                for a in 0..n as u32 {
+                    let f = s.flip(AtomId(a));
+                    assert_tail_clean(&f);
+                    assert_eq!(f.len(), s.len(), "flip must be a permutation");
+                    assert_eq!(f.flip(AtomId(a)), s);
+                    // Saturation built on flip keeps the invariant too.
+                    assert_tail_clean(&s.saturate(AtomId(a)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn remove_subcube_on_empty_set_is_noop() {
+        for n in [2usize, 3, 7] {
+            let mut s = WorldSet::empty(n);
+            // Whole universe as the subcube (no fixed atoms).
+            s.remove_subcube(0, 0);
+            assert!(s.is_empty());
+            // A single fully-fixed world.
+            s.remove_subcube(WorldSet::universe_mask(n), WorldSet::universe_mask(n));
+            assert!(s.is_empty());
+        }
+    }
+
+    #[test]
+    fn remove_subcube_on_full_set() {
+        for n in [2usize, 3, 7] {
+            // No fixed atoms: the subcube is the whole universe.
+            let mut s = WorldSet::full(n);
+            s.remove_subcube(0, 0);
+            assert!(s.is_empty());
+
+            // One fixed atom: exactly half the worlds go.
+            let mut s = WorldSet::full(n);
+            s.remove_subcube(0b1, 0b1);
+            assert_eq!(s.len(), 1 << (n - 1));
+            assert!(s.iter().all(|world| !world.get(AtomId(0))));
+
+            // Fully fixed: exactly one world goes.
+            let mut s = WorldSet::full(n);
+            let all = WorldSet::universe_mask(n);
+            s.remove_subcube(all, all);
+            assert_eq!(s.len(), (1 << n) - 1);
+            assert!(!s.contains(w(all, n)));
+        }
+    }
+
+    #[test]
+    fn from_clauses_agrees_with_from_wff_on_random_cnf() {
+        let mut rng = pwdb_logic::Rng::new(0xC4F_1234);
+        for _ in 0..64 {
+            let n = rng.range_usize(1, 8);
+            let n_clauses = rng.range_usize(0, 7);
+            let mut cs = ClauseSet::new();
+            for _ in 0..n_clauses {
+                let width = rng.range_usize(0, 4);
+                let lits: Vec<pwdb_logic::Literal> = (0..width)
+                    .map(|_| {
+                        pwdb_logic::Literal::new(AtomId(rng.below(n as u64) as u32), rng.coin())
+                    })
+                    .collect();
+                cs.insert(pwdb_logic::Clause::new(lits));
+            }
+            let as_wff = Wff::conj(
+                cs.iter()
+                    .map(|c| Wff::disj(c.literals().iter().map(|&l| Wff::literal(l)))),
+            );
+            assert_eq!(
+                WorldSet::from_clauses(n, &cs),
+                WorldSet::from_wff(n, &as_wff),
+                "clause set {cs} over {n} atoms"
+            );
+        }
+    }
 }

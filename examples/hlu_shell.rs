@@ -80,11 +80,7 @@ enum Reply {
     Quit,
 }
 
-fn execute(
-    line: &str,
-    db: &mut ClausalDatabase,
-    atoms: &mut AtomTable,
-) -> Result<Reply, String> {
+fn execute(line: &str, db: &mut ClausalDatabase, atoms: &mut AtomTable) -> Result<Reply, String> {
     if line == ":quit" || line == ":q" {
         return Ok(Reply::Quit);
     }
@@ -118,7 +114,10 @@ fn execute(
     if line.starts_with('(') {
         let prog = parse_hlu(line, atoms).map_err(|e| e.to_string())?;
         db.run(&prog);
-        return Ok(Reply::Text(format!("ok ({} update(s) run)", db.updates_run())));
+        return Ok(Reply::Text(format!(
+            "ok ({} update(s) run)",
+            db.updates_run()
+        )));
     }
     Err(format!("unrecognized command: {line}"))
 }

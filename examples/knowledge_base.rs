@@ -16,12 +16,7 @@ fn main() {
 
     // Seed the vocabulary in a stable order.
     for name in [
-        "power_ok",
-        "disk_ok",
-        "net_ok",
-        "boots",
-        "alarm",
-        "escalate",
+        "power_ok", "disk_ok", "net_ok", "boots", "alarm", "escalate",
     ] {
         atoms.intern(name);
     }
@@ -57,7 +52,11 @@ fn main() {
         let certain = clausal.is_certain(&w);
         let possible = clausal.is_possible(&w);
         // The instance backend is the semantic reference: must agree.
-        assert_eq!(certain, instance.is_certain(&w), "certainty mismatch on {text}");
+        assert_eq!(
+            certain,
+            instance.is_certain(&w),
+            "certainty mismatch on {text}"
+        );
         assert_eq!(
             possible,
             instance.is_possible(&w),
@@ -80,5 +79,9 @@ fn main() {
         n
     );
     let clauses = clausal.state();
-    println!("clausal state ({} clauses): {}", clauses.len(), clauses.display(&atoms));
+    println!(
+        "clausal state ({} clauses): {}",
+        clauses.len(),
+        clauses.display(&atoms)
+    );
 }

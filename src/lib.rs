@@ -5,3 +5,5 @@
 //! is the [`pwdb`] umbrella crate (re-exported here for convenience).
 
 pub use pwdb;
+
+pub mod testgen;

@@ -1,0 +1,132 @@
+//! Shared deterministic generators for the integration tests.
+//!
+//! The property tests in `tests/` draw random formulas, clause sets,
+//! world sets, BLU terms, and HLU programs from these helpers, seeded per
+//! test so every run explores the same cases. Sizes are kept small — the
+//! tests compare against exponential reference implementations.
+
+use std::collections::BTreeSet;
+
+use pwdb::blu::{MTerm, STerm};
+use pwdb::hlu::HluProgram;
+use pwdb::logic::{AtomId, Clause, ClauseSet, Literal, Rng, Wff};
+use pwdb::worlds::{World, WorldSet};
+
+/// A random wff over `n_atoms` atoms with AST depth at most `depth`.
+/// Mirrors the old recursive proptest strategy: leaves are literals, and
+/// interior positions stop early with probability 1/3 so the depth
+/// actually varies.
+pub fn wff(rng: &mut Rng, n_atoms: usize, depth: usize) -> Wff {
+    if depth == 0 || rng.below(3) == 0 {
+        let a = Wff::atom(rng.below(n_atoms as u64) as u32);
+        return if rng.coin() { a } else { a.not() };
+    }
+    let l = wff(rng, n_atoms, depth - 1);
+    let r = wff(rng, n_atoms, depth - 1);
+    match rng.below(4) {
+        0 => l.and(r),
+        1 => l.or(r),
+        2 => l.implies(r),
+        _ => l.iff(r),
+    }
+}
+
+/// A random clause of up to `max_width` literals over `n_atoms` atoms.
+/// Duplicate and complementary draws are left in; the `Clause`
+/// constructor normalizes them (so tautologies do occur, as with the old
+/// strategies).
+pub fn clause(rng: &mut Rng, n_atoms: usize, max_width: usize) -> Clause {
+    let w = rng.range_usize(0, max_width + 1);
+    Clause::new(
+        (0..w)
+            .map(|_| Literal::new(AtomId(rng.below(n_atoms as u64) as u32), rng.coin()))
+            .collect(),
+    )
+}
+
+/// A random clause set of up to `max_clauses` clauses.
+pub fn clause_set(
+    rng: &mut Rng,
+    n_atoms: usize,
+    max_clauses: usize,
+    max_width: usize,
+) -> ClauseSet {
+    let k = rng.range_usize(0, max_clauses + 1);
+    (0..k).map(|_| clause(rng, n_atoms, max_width)).collect()
+}
+
+/// A random mask of up to `max_size` distinct atoms.
+pub fn mask(rng: &mut Rng, n_atoms: usize, max_size: usize) -> BTreeSet<AtomId> {
+    let k = rng.range_usize(0, max_size + 1);
+    (0..k)
+        .map(|_| AtomId(rng.below(n_atoms as u64) as u32))
+        .collect()
+}
+
+/// A random set of up to `max_count` distinct world encodings below
+/// `2^n_atoms`.
+pub fn world_bits(rng: &mut Rng, n_atoms: usize, max_count: usize) -> BTreeSet<u64> {
+    let k = rng.range_usize(0, max_count + 1);
+    (0..k).map(|_| rng.below(1 << n_atoms)).collect()
+}
+
+/// A random [`WorldSet`] of up to `max_count` worlds.
+pub fn world_set(rng: &mut Rng, n_atoms: usize, max_count: usize) -> WorldSet {
+    let mut s = WorldSet::empty(n_atoms);
+    for b in world_bits(rng, n_atoms, max_count) {
+        s.insert(World::from_bits(b, n_atoms));
+    }
+    s
+}
+
+/// A random BLU state term over variables `s0..s2` and masks from
+/// `mask_vars` (plus `genmask` sub-terms), depth at most `depth`.
+pub fn sterm(rng: &mut Rng, depth: usize, mask_vars: &[&str]) -> STerm {
+    if depth == 0 || rng.below(3) == 0 {
+        return STerm::var(["s0", "s1", "s2"][rng.index(3)]);
+    }
+    match rng.below(5) {
+        0 => sterm(rng, depth - 1, mask_vars).assert(sterm(rng, depth - 1, mask_vars)),
+        1 => sterm(rng, depth - 1, mask_vars).combine(sterm(rng, depth - 1, mask_vars)),
+        2 => sterm(rng, depth - 1, mask_vars).complement(),
+        3 => sterm(rng, depth - 1, mask_vars).mask(sterm(rng, depth - 1, mask_vars).genmask()),
+        _ => {
+            sterm(rng, depth - 1, mask_vars).mask(MTerm::var(mask_vars[rng.index(mask_vars.len())]))
+        }
+    }
+}
+
+/// A random simple (non-`where`) HLU program over `n_atoms` atoms.
+pub fn simple_hlu_program(rng: &mut Rng, n_atoms: usize) -> HluProgram {
+    match rng.below(5) {
+        0 => HluProgram::Assert(wff(rng, n_atoms, 2)),
+        1 => HluProgram::Insert(wff(rng, n_atoms, 2)),
+        2 => HluProgram::Delete(wff(rng, n_atoms, 2)),
+        3 => HluProgram::Modify(wff(rng, n_atoms, 1), wff(rng, n_atoms, 1)),
+        _ => HluProgram::Clear(mask(rng, n_atoms, 2)),
+    }
+}
+
+/// A random HLU program with at most one level of `where` wrapping.
+pub fn hlu_program(rng: &mut Rng, n_atoms: usize) -> HluProgram {
+    let base = simple_hlu_program(rng, n_atoms);
+    if rng.coin() {
+        base
+    } else {
+        HluProgram::where2(wff(rng, n_atoms, 1), simple_hlu_program(rng, n_atoms), base)
+    }
+}
+
+/// A disjunction of 1–3 literals with distinct atoms: formulas whose
+/// syntactic Prop equals their semantic Dep (used by the §3.3 baseline
+/// comparisons).
+pub fn literal_disjunction(rng: &mut Rng, n_atoms: usize) -> Wff {
+    let k = rng.range_usize(1, 4);
+    let lits: std::collections::BTreeMap<u32, bool> = (0..k)
+        .map(|_| (rng.below(n_atoms as u64) as u32, rng.coin()))
+        .collect();
+    Wff::disj(
+        lits.into_iter()
+            .map(|(a, pos)| Wff::literal(Literal::new(AtomId(a), pos))),
+    )
+}

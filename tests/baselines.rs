@@ -1,30 +1,30 @@
 //! Integration tests relating the three baselines (Wilkins, flock,
 //! V-tables) to the mask-based semantics, pinning the comparative claims
 //! of §3.3.
+//!
+//! Seeded deterministic loops stand in for the old proptest strategies.
 
 use std::collections::BTreeSet;
 
-use proptest::prelude::*;
-
 use pwdb::flock::Flock;
 use pwdb::hlu::{HluProgram, InstanceDatabase};
-use pwdb::logic::{cnf_of, AtomId, ClauseSet, Wff};
+use pwdb::logic::{cnf_of, AtomId, ClauseSet, Rng, Wff};
 use pwdb::tables::{find_representing_table, Term, VTable};
 use pwdb::wilkins::WilkinsDb;
 use pwdb::worlds::WorldSet;
+use pwdb_suite::testgen;
 
 const N: usize = 4;
+const CASES: usize = 64;
 
-fn arb_literal_disjunction() -> impl Strategy<Value = Wff> {
-    // Disjunctions of 1–3 literals with distinct atoms: formulas whose
-    // syntactic Prop equals their semantic Dep, where Wilkins and the
-    // mask semantics must coincide (§3.3.1).
-    proptest::collection::btree_map(0..N as u32, any::<bool>(), 1..=3).prop_map(|lits| {
-        Wff::disj(
-            lits.into_iter()
-                .map(|(a, pos)| Wff::literal(pwdb::logic::Literal::new(AtomId(a), pos))),
-        )
-    })
+fn arb_literal_disjunction(rng: &mut Rng) -> Wff {
+    testgen::literal_disjunction(rng, N)
+}
+
+fn arb_updates(rng: &mut Rng) -> Vec<Wff> {
+    (0..rng.range_usize(1, 5))
+        .map(|_| arb_literal_disjunction(rng))
+        .collect()
 }
 
 fn hegner_worlds_after(updates: &[Wff]) -> BTreeSet<u64> {
@@ -43,24 +43,26 @@ fn wilkins_worlds_after(updates: &[Wff]) -> BTreeSet<u64> {
     db.base_worlds().into_iter().collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// §3.3.1: on formulas with Dep = Prop, Wilkins' aux-letter algorithm
-    /// realizes exactly the mask-based update semantics.
-    #[test]
-    fn wilkins_matches_hegner_on_literal_disjunctions(
-        updates in proptest::collection::vec(arb_literal_disjunction(), 1..=4)
-    ) {
-        prop_assert_eq!(hegner_worlds_after(&updates), wilkins_worlds_after(&updates));
+/// §3.3.1: on formulas with Dep = Prop, Wilkins' aux-letter algorithm
+/// realizes exactly the mask-based update semantics.
+#[test]
+fn wilkins_matches_hegner_on_literal_disjunctions() {
+    let mut rng = Rng::new(0xBA51);
+    for _ in 0..CASES {
+        let updates = arb_updates(&mut rng);
+        assert_eq!(
+            hegner_worlds_after(&updates),
+            wilkins_worlds_after(&updates)
+        );
     }
+}
 
-    /// Wilkins cleanup is semantics-preserving and leaves a base-atom
-    /// store.
-    #[test]
-    fn wilkins_cleanup_preserves_worlds(
-        updates in proptest::collection::vec(arb_literal_disjunction(), 1..=4)
-    ) {
+/// Wilkins cleanup is semantics-preserving and leaves a base-atom store.
+#[test]
+fn wilkins_cleanup_preserves_worlds() {
+    let mut rng = Rng::new(0xBA52);
+    for _ in 0..CASES {
+        let updates = arb_updates(&mut rng);
         let mut db = WilkinsDb::new(N);
         for u in &updates {
             db.insert(u);
@@ -68,35 +70,45 @@ proptest! {
         let before: BTreeSet<u64> = db.base_worlds().into_iter().collect();
         db.cleanup();
         let after: BTreeSet<u64> = db.base_worlds().into_iter().collect();
-        prop_assert_eq!(before, after);
-        prop_assert_eq!(db.aux_letters(), 0);
-        prop_assert!(db.clauses().atom_bound() <= N);
+        assert_eq!(before, after);
+        assert_eq!(db.aux_letters(), 0);
+        assert!(db.clauses().atom_bound() <= N);
     }
+}
 
-    /// FKUV insertion always establishes the inserted formula (when
-    /// satisfiable), like ours — the *difference* is in what it retains.
-    #[test]
-    fn flock_insert_establishes(updates in arb_literal_disjunction()) {
+/// FKUV insertion always establishes the inserted formula (when
+/// satisfiable), like ours — the *difference* is in what it retains.
+#[test]
+fn flock_insert_establishes() {
+    let mut rng = Rng::new(0xBA53);
+    for _ in 0..CASES {
+        let update = arb_literal_disjunction(&mut rng);
         let mut f = Flock::singleton(ClauseSet::new());
-        f.insert(&updates);
-        prop_assert!(f.certain(&updates));
+        f.insert(&update);
+        assert!(f.certain(&update));
     }
+}
 
-    /// §3.3.2: flock results refine the mask-based result from a single
-    /// consistent theory whose clauses the update contradicts at most
-    /// partially: minimal change always keeps at least the worlds of some
-    /// maximal consistent subtheory intersected with the inserted formula,
-    /// so flock ⊆ Hegner fails in general but flock worlds always satisfy
-    /// the update.
-    #[test]
-    fn flock_worlds_satisfy_update(
-        seed_clauses in proptest::collection::vec((0..N as u32, any::<bool>()), 0..=3),
-        update in arb_literal_disjunction(),
-    ) {
-        let theory: ClauseSet = seed_clauses
-            .into_iter()
-            .map(|(a, pos)| pwdb::logic::Clause::unit(pwdb::logic::Literal::new(AtomId(a), pos)))
+/// §3.3.2: flock results refine the mask-based result from a single
+/// consistent theory whose clauses the update contradicts at most
+/// partially: minimal change always keeps at least the worlds of some
+/// maximal consistent subtheory intersected with the inserted formula,
+/// so flock ⊆ Hegner fails in general but flock worlds always satisfy
+/// the update.
+#[test]
+fn flock_worlds_satisfy_update() {
+    let mut rng = Rng::new(0xBA54);
+    for _ in 0..CASES {
+        let n_seed = rng.range_usize(0, 4);
+        let theory: ClauseSet = (0..n_seed)
+            .map(|_| {
+                pwdb::logic::Clause::unit(pwdb::logic::Literal::new(
+                    AtomId(rng.below(N as u64) as u32),
+                    rng.coin(),
+                ))
+            })
             .collect();
+        let update = arb_literal_disjunction(&mut rng);
         let mut f = Flock::singleton(theory);
         f.insert(&update);
         let update_worlds: BTreeSet<u64> = WorldSet::from_wff(N, &update)
@@ -104,7 +116,7 @@ proptest! {
             .map(|w| w.bits())
             .collect();
         for w in f.worlds(N) {
-            prop_assert!(update_worlds.contains(&w));
+            assert!(update_worlds.contains(&w));
         }
     }
 }

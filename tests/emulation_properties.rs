@@ -2,162 +2,182 @@
 //! 2.3.6(a), 2.3.9(a)): for randomly generated clause-set states, every
 //! BLU-C operator commutes with `e_CI` into BLU-I — for the paper-exact
 //! algebra and for the optimized variants.
+//!
+//! Seeded deterministic loops stand in for the old proptest strategies.
 
 use std::collections::BTreeSet;
 
-use proptest::prelude::*;
-
 use pwdb::blu::{
-    check_states, clause_state_to_worlds, BluClausal, BluInstance, BluSemantics,
-    GenmaskStrategy,
+    check_states, clause_state_to_worlds, BluClausal, BluInstance, BluSemantics, GenmaskStrategy,
 };
-use pwdb::logic::{AtomId, Clause, ClauseSet, Literal};
+use pwdb::logic::{AtomId, ClauseSet, Rng};
 use pwdb::worlds::WorldSet;
+use pwdb_suite::testgen;
 
 const N_ATOMS: usize = 5;
+const CASES: usize = 128;
 
-fn arb_clause() -> impl Strategy<Value = Clause> {
-    // Up to 4 literals over N_ATOMS atoms; tautologies and duplicates are
-    // normalized away by the constructors.
-    proptest::collection::vec((0..N_ATOMS as u32, any::<bool>()), 0..=4).prop_map(|lits| {
-        Clause::new(
-            lits.into_iter()
-                .map(|(a, pos)| Literal::new(AtomId(a), pos))
-                .collect(),
-        )
-    })
+fn arb_clause_set(rng: &mut Rng, max_clauses: usize) -> ClauseSet {
+    testgen::clause_set(rng, N_ATOMS, max_clauses, 4)
 }
 
-fn arb_clause_set(max_clauses: usize) -> impl Strategy<Value = ClauseSet> {
-    proptest::collection::vec(arb_clause(), 0..=max_clauses)
-        .prop_map(ClauseSet::from_clauses)
+fn arb_mask(rng: &mut Rng) -> BTreeSet<AtomId> {
+    testgen::mask(rng, N_ATOMS, 2)
 }
 
-fn arb_mask() -> impl Strategy<Value = BTreeSet<AtomId>> {
-    proptest::collection::btree_set(0..N_ATOMS as u32, 0..=2)
-        .prop_map(|s| s.into_iter().map(AtomId).collect())
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn paper_exact_algebra_emulates(
-        x in arb_clause_set(4),
-        y in arb_clause_set(3),
-        extra in arb_mask(),
-    ) {
+#[test]
+fn paper_exact_algebra_emulates() {
+    let mut rng = Rng::new(0xE301);
+    for _ in 0..CASES {
+        let x = arb_clause_set(&mut rng, 4);
+        let y = arb_clause_set(&mut rng, 3);
+        let extra = arb_mask(&mut rng);
         let report = check_states(&BluClausal::new(), N_ATOMS, &x, &y, &extra);
-        prop_assert!(report.all_ok(), "failures: {:?}", report.failures);
+        assert!(report.all_ok(), "failures: {:?}", report.failures);
     }
+}
 
-    #[test]
-    fn optimized_algebra_emulates(
-        x in arb_clause_set(4),
-        y in arb_clause_set(3),
-        extra in arb_mask(),
-    ) {
+#[test]
+fn optimized_algebra_emulates() {
+    let mut rng = Rng::new(0xE302);
+    for _ in 0..CASES {
+        let x = arb_clause_set(&mut rng, 4);
+        let y = arb_clause_set(&mut rng, 3);
+        let extra = arb_mask(&mut rng);
         let alg = BluClausal::new()
             .with_reduction(true)
             .with_genmask(GenmaskStrategy::SatBased);
         let report = check_states(&alg, N_ATOMS, &x, &y, &extra);
-        prop_assert!(report.all_ok(), "failures: {:?}", report.failures);
+        assert!(report.all_ok(), "failures: {:?}", report.failures);
     }
+}
 
-    #[test]
-    fn genmask_strategies_agree(phi in arb_clause_set(5)) {
-        prop_assert_eq!(
+#[test]
+fn genmask_strategies_agree() {
+    let mut rng = Rng::new(0xE303);
+    for _ in 0..CASES {
+        let phi = arb_clause_set(&mut rng, 5);
+        assert_eq!(
             BluClausal::genmask_paper(&phi),
-            BluClausal::genmask_sat(&phi)
+            BluClausal::genmask_sat(&phi),
+            "strategies diverged on {phi}"
         );
     }
+}
 
-    #[test]
-    fn genmask_equals_semantic_dep(phi in arb_clause_set(5)) {
-        let semantic: BTreeSet<AtomId> =
-            WorldSet::from_clauses(N_ATOMS, &phi).dep().into_iter().collect();
-        prop_assert_eq!(BluClausal::genmask_paper(&phi), semantic);
+#[test]
+fn genmask_equals_semantic_dep() {
+    let mut rng = Rng::new(0xE304);
+    for _ in 0..CASES {
+        let phi = arb_clause_set(&mut rng, 5);
+        let semantic: BTreeSet<AtomId> = WorldSet::from_clauses(N_ATOMS, &phi)
+            .dep()
+            .into_iter()
+            .collect();
+        assert_eq!(BluClausal::genmask_paper(&phi), semantic);
     }
+}
 
-    #[test]
-    fn mask_is_resolution_forgetting(phi in arb_clause_set(5), m in arb_mask()) {
+#[test]
+fn mask_is_resolution_forgetting() {
+    let mut rng = Rng::new(0xE305);
+    for _ in 0..CASES {
+        let phi = arb_clause_set(&mut rng, 5);
+        let m = arb_mask(&mut rng);
         let alg = BluClausal::new();
         let clausal = clause_state_to_worlds(N_ATOMS, &alg.op_mask(&phi, &m));
         let atoms: Vec<AtomId> = m.iter().copied().collect();
         let semantic = WorldSet::from_clauses(N_ATOMS, &phi).saturate_all(&atoms);
-        prop_assert_eq!(clausal, semantic);
+        assert_eq!(clausal, semantic);
     }
+}
 
-    #[test]
-    fn complement_is_involutive_semantically(phi in arb_clause_set(4)) {
+#[test]
+fn complement_is_involutive_semantically() {
+    let mut rng = Rng::new(0xE306);
+    for _ in 0..CASES {
+        let phi = arb_clause_set(&mut rng, 4);
         let alg = BluClausal::new();
         let twice = alg.op_complement(&alg.op_complement(&phi));
-        prop_assert_eq!(
+        assert_eq!(
             clause_state_to_worlds(N_ATOMS, &twice),
             clause_state_to_worlds(N_ATOMS, &phi)
         );
     }
+}
 
-    #[test]
-    fn boolean_algebra_laws_at_instance_level(
-        x in arb_clause_set(3),
-        y in arb_clause_set(3),
-        z in arb_clause_set(3),
-    ) {
+#[test]
+fn boolean_algebra_laws_at_instance_level() {
+    let mut rng = Rng::new(0xE307);
+    for _ in 0..CASES {
+        let x = arb_clause_set(&mut rng, 3);
+        let y = arb_clause_set(&mut rng, 3);
+        let z = arb_clause_set(&mut rng, 3);
         let inst = BluInstance::new(N_ATOMS);
         let ex = clause_state_to_worlds(N_ATOMS, &x);
         let ey = clause_state_to_worlds(N_ATOMS, &y);
         let ez = clause_state_to_worlds(N_ATOMS, &z);
         // Distributivity: x ∩ (y ∪ z) = (x ∩ y) ∪ (x ∩ z).
-        prop_assert_eq!(
+        assert_eq!(
             inst.op_assert(&ex, &inst.op_combine(&ey, &ez)),
             inst.op_combine(&inst.op_assert(&ex, &ey), &inst.op_assert(&ex, &ez))
         );
         // De Morgan: ¬(x ∪ y) = ¬x ∩ ¬y.
-        prop_assert_eq!(
+        assert_eq!(
             inst.op_complement(&inst.op_combine(&ex, &ey)),
             inst.op_assert(&inst.op_complement(&ex), &inst.op_complement(&ey))
         );
         // Double complement.
-        prop_assert_eq!(inst.op_complement(&inst.op_complement(&ex)), ex);
+        assert_eq!(inst.op_complement(&inst.op_complement(&ex)), ex);
     }
+}
 
-    #[test]
-    fn mask_is_idempotent_and_monotone(phi in arb_clause_set(4), m in arb_mask()) {
+#[test]
+fn mask_is_idempotent_and_monotone() {
+    let mut rng = Rng::new(0xE308);
+    for _ in 0..CASES {
+        let phi = arb_clause_set(&mut rng, 4);
+        let m = arb_mask(&mut rng);
         let inst = BluInstance::new(N_ATOMS);
         let ex = clause_state_to_worlds(N_ATOMS, &phi);
         let once = inst.op_mask(&ex, &m);
         // Idempotent.
-        prop_assert_eq!(inst.op_mask(&once, &m), once.clone());
+        assert_eq!(inst.op_mask(&once, &m), once.clone());
         // Extensive: masking only adds worlds.
-        prop_assert!(ex.is_subset(&once));
+        assert!(ex.is_subset(&once));
         // The result no longer depends on the masked atoms.
         for a in &m {
-            prop_assert!(once.independent_of(*a));
+            assert!(once.independent_of(*a));
         }
     }
+}
 
-    /// Surjectivity of `e_CI[S]` (Definition 2.3.1 requires the emulation
-    /// maps to be surjective): every world set is `Mod` of its
-    /// axiomatization.
-    #[test]
-    fn e_ci_state_map_is_surjective(bits in proptest::collection::btree_set(0u64..32, 0..=12)) {
+/// Surjectivity of `e_CI[S]` (Definition 2.3.1 requires the emulation
+/// maps to be surjective): every world set is `Mod` of its
+/// axiomatization.
+#[test]
+fn e_ci_state_map_is_surjective() {
+    let mut rng = Rng::new(0xE309);
+    for _ in 0..CASES {
+        let bits = testgen::world_bits(&mut rng, N_ATOMS, 12);
         let mut target = WorldSet::empty(N_ATOMS);
         for b in bits {
             target.insert(pwdb::worlds::World::from_bits(b, N_ATOMS));
         }
         let phi = pwdb::worlds::axiomatize(&target);
-        prop_assert_eq!(clause_state_to_worlds(N_ATOMS, &phi), target);
+        assert_eq!(clause_state_to_worlds(N_ATOMS, &phi), target);
     }
+}
 
-    #[test]
-    fn genmask_of_masked_state_is_disjoint_from_mask(
-        phi in arb_clause_set(4),
-        m in arb_mask(),
-    ) {
+#[test]
+fn genmask_of_masked_state_is_disjoint_from_mask() {
+    let mut rng = Rng::new(0xE30A);
+    for _ in 0..CASES {
+        let phi = arb_clause_set(&mut rng, 4);
+        let m = arb_mask(&mut rng);
         let inst = BluInstance::new(N_ATOMS);
         let masked = inst.op_mask(&clause_state_to_worlds(N_ATOMS, &phi), &m);
         let dep = inst.op_genmask(&masked);
-        prop_assert!(dep.is_disjoint(&m));
+        assert!(dep.is_disjoint(&m));
     }
 }

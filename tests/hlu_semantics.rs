@@ -3,78 +3,59 @@
 //! arbitrary scripts, and the HLU translations must agree with the
 //! morphism-level update definitions of §1.3–1.4 where the paper claims
 //! they do (Theorem 3.1.4).
-
-use proptest::prelude::*;
+//!
+//! Seeded deterministic loops stand in for the old proptest strategies;
+//! cases the old `prop_assume!` guards would discard are skipped with
+//! `continue`.
 
 use pwdb::hlu::{ClausalDatabase, HluProgram, InstanceDatabase};
-use pwdb::logic::{AtomId, Wff};
+use pwdb::logic::{AtomId, Rng, Wff};
 use pwdb::worlds::{delete_wff, insert_wff, WorldSet};
+use pwdb_suite::testgen;
 
 const N: usize = 4;
+const CASES: usize = 96;
 
-fn arb_wff(depth: u32) -> impl Strategy<Value = Wff> {
-    let leaf = prop_oneof![
-        (0..N as u32).prop_map(Wff::atom),
-        (0..N as u32).prop_map(|a| Wff::atom(a).not()),
-    ];
-    leaf.prop_recursive(depth, 16, 2, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.and(b)),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.or(b)),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.implies(b)),
-            (inner.clone(), inner).prop_map(|(a, b)| a.iff(b)),
-        ]
-    })
+fn arb_wff(rng: &mut Rng, depth: usize) -> Wff {
+    testgen::wff(rng, N, depth)
 }
 
-fn arb_program() -> impl Strategy<Value = HluProgram> {
-    let simple = prop_oneof![
-        arb_wff(2).prop_map(HluProgram::Assert),
-        arb_wff(2).prop_map(HluProgram::Insert),
-        arb_wff(2).prop_map(HluProgram::Delete),
-        (arb_wff(1), arb_wff(1)).prop_map(|(a, b)| HluProgram::Modify(a, b)),
-        proptest::collection::btree_set(0..N as u32, 0..=2)
-            .prop_map(|s| HluProgram::Clear(s.into_iter().map(AtomId).collect())),
-    ];
-    // Allow one level of `where`.
-    (simple.clone(), proptest::option::of((arb_wff(1), simple)))
-        .prop_map(|(base, wrap)| match wrap {
-            None => base,
-            Some((cond, inner)) => HluProgram::where2(cond, inner, base),
-        })
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
-
-    /// The central soundness property: the clausal implementation of any
-    /// HLU script denotes exactly the same set of possible worlds as the
-    /// instance implementation.
-    #[test]
-    fn backends_agree_on_scripts(script in proptest::collection::vec(arb_program(), 1..=4)) {
+/// The central soundness property: the clausal implementation of any
+/// HLU script denotes exactly the same set of possible worlds as the
+/// instance implementation.
+#[test]
+fn backends_agree_on_scripts() {
+    let mut rng = Rng::new(0x41A1);
+    for _ in 0..CASES {
+        let script: Vec<HluProgram> = (0..rng.range_usize(1, 5))
+            .map(|_| testgen::hlu_program(&mut rng, N))
+            .collect();
         let mut clausal = ClausalDatabase::new();
         let mut instance = InstanceDatabase::with_atoms(N);
         for prog in &script {
             clausal.run(prog);
             instance.run(prog);
-            prop_assert_eq!(
+            assert_eq!(
                 &WorldSet::from_clauses(N, clausal.state()),
                 instance.state(),
-                "diverged after {}",
-                prog
+                "diverged after {prog}"
             );
         }
     }
+}
 
-    /// HLU insert agrees with the nondeterministic morphism insert[Φ] of
-    /// Definition 1.4.5(a) on arbitrary states and satisfiable formulas.
-    #[test]
-    fn hlu_insert_matches_morphism_insert(
-        state_wff in arb_wff(2),
-        param in arb_wff(2),
-    ) {
+/// HLU insert agrees with the nondeterministic morphism insert[Φ] of
+/// Definition 1.4.5(a) on arbitrary states and satisfiable formulas.
+#[test]
+fn hlu_insert_matches_morphism_insert() {
+    let mut rng = Rng::new(0x41A2);
+    for _ in 0..CASES {
+        let state_wff = arb_wff(&mut rng, 2);
+        let param = arb_wff(&mut rng, 2);
         let start = WorldSet::from_wff(N, &state_wff);
-        prop_assume!(!WorldSet::from_wff(N, &param).is_empty());
+        if WorldSet::from_wff(N, &param).is_empty() {
+            continue;
+        }
 
         let mut db = InstanceDatabase::with_atoms(N);
         db.set_state(start.clone());
@@ -82,68 +63,97 @@ proptest! {
 
         let nd = insert_wff(N, &param).expect("satisfiable");
         let via_morphism = nd.apply_set(&start);
-        prop_assert_eq!(db.state(), &via_morphism);
+        assert_eq!(db.state(), &via_morphism);
     }
+}
 
-    /// Likewise for delete (Definition 1.4.5(b)), when the negation is
-    /// satisfiable.
-    #[test]
-    fn hlu_delete_matches_morphism_delete(
-        state_wff in arb_wff(2),
-        param in arb_wff(2),
-    ) {
+/// Likewise for delete (Definition 1.4.5(b)), when the negation is
+/// satisfiable.
+#[test]
+fn hlu_delete_matches_morphism_delete() {
+    let mut rng = Rng::new(0x41A3);
+    for _ in 0..CASES {
+        let state_wff = arb_wff(&mut rng, 2);
+        let param = arb_wff(&mut rng, 2);
         let start = WorldSet::from_wff(N, &state_wff);
-        prop_assume!(!WorldSet::from_wff(N, &param.clone().not()).is_empty());
+        if WorldSet::from_wff(N, &param.clone().not()).is_empty() {
+            continue;
+        }
 
         let mut db = InstanceDatabase::with_atoms(N);
         db.set_state(start.clone());
         db.run(&HluProgram::Delete(param.clone()));
 
         let nd = delete_wff(N, &param).expect("negation satisfiable");
-        prop_assert_eq!(db.state(), &nd.apply_set(&start));
+        assert_eq!(db.state(), &nd.apply_set(&start));
     }
+}
 
-    /// Insert establishes its parameter (when satisfiable): afterwards the
-    /// parameter is certain.
-    #[test]
-    fn insert_establishes_parameter(state_wff in arb_wff(2), param in arb_wff(2)) {
-        prop_assume!(!WorldSet::from_wff(N, &param).is_empty());
+/// Insert establishes its parameter (when satisfiable): afterwards the
+/// parameter is certain.
+#[test]
+fn insert_establishes_parameter() {
+    let mut rng = Rng::new(0x41A4);
+    for _ in 0..CASES {
+        let state_wff = arb_wff(&mut rng, 2);
+        let param = arb_wff(&mut rng, 2);
+        if WorldSet::from_wff(N, &param).is_empty() {
+            continue;
+        }
         let mut db = InstanceDatabase::with_atoms(N);
         db.set_state(WorldSet::from_wff(N, &state_wff));
         db.run(&HluProgram::Insert(param.clone()));
-        prop_assert!(db.is_certain(&param));
+        assert!(db.is_certain(&param));
     }
+}
 
-    /// Delete refutes its parameter (when refutable).
-    #[test]
-    fn delete_refutes_parameter(state_wff in arb_wff(2), param in arb_wff(2)) {
-        prop_assume!(!WorldSet::from_wff(N, &param.clone().not()).is_empty());
+/// Delete refutes its parameter (when refutable).
+#[test]
+fn delete_refutes_parameter() {
+    let mut rng = Rng::new(0x41A5);
+    for _ in 0..CASES {
+        let state_wff = arb_wff(&mut rng, 2);
+        let param = arb_wff(&mut rng, 2);
+        if WorldSet::from_wff(N, &param.clone().not()).is_empty() {
+            continue;
+        }
         let mut db = InstanceDatabase::with_atoms(N);
         db.set_state(WorldSet::from_wff(N, &state_wff));
         db.run(&HluProgram::Delete(param.clone()));
-        prop_assert!(db.is_certain(&param.not()));
+        assert!(db.is_certain(&param.not()));
     }
+}
 
-    /// Insert never empties a non-empty state (unlike assert): the mask
-    /// step guarantees consistency is preserved for satisfiable inserts.
-    #[test]
-    fn insert_preserves_consistency(state_wff in arb_wff(2), param in arb_wff(2)) {
-        prop_assume!(!WorldSet::from_wff(N, &param).is_empty());
+/// Insert never empties a non-empty state (unlike assert): the mask
+/// step guarantees consistency is preserved for satisfiable inserts.
+#[test]
+fn insert_preserves_consistency() {
+    let mut rng = Rng::new(0x41A6);
+    for _ in 0..CASES {
+        let state_wff = arb_wff(&mut rng, 2);
+        let param = arb_wff(&mut rng, 2);
+        if WorldSet::from_wff(N, &param).is_empty() {
+            continue;
+        }
         let mut db = InstanceDatabase::with_atoms(N);
         db.set_state(WorldSet::from_wff(N, &state_wff));
-        prop_assume!(db.is_consistent());
+        if !db.is_consistent() {
+            continue;
+        }
         db.run(&HluProgram::Insert(param));
-        prop_assert!(db.is_consistent());
+        assert!(db.is_consistent());
     }
+}
 
-    /// The where-split is a partition: (where W P Q) on S equals
-    /// P(S ∩ pw(W)) ∪ Q(S \ pw(W)).
-    #[test]
-    fn where_is_a_partitioned_update(
-        state_wff in arb_wff(2),
-        cond in arb_wff(2),
-        param in arb_wff(1),
-    ) {
+/// The where-split is a partition: (where W P Q) on S equals
+/// P(S ∩ pw(W)) ∪ Q(S \ pw(W)).
+#[test]
+fn where_is_a_partitioned_update() {
+    let mut rng = Rng::new(0x41A7);
+    for _ in 0..CASES {
+        let state_wff = arb_wff(&mut rng, 2);
+        let cond = arb_wff(&mut rng, 2);
+        let param = arb_wff(&mut rng, 1);
         let start = WorldSet::from_wff(N, &state_wff);
         let cond_worlds = WorldSet::from_wff(N, &cond);
 
@@ -163,18 +173,25 @@ proptest! {
         else_db.set_state(start.difference(&cond_worlds));
         else_db.run(&HluProgram::Delete(param));
 
-        prop_assert_eq!(whole.state(), &then_db.state().union(else_db.state()));
+        assert_eq!(whole.state(), &then_db.state().union(else_db.state()));
     }
+}
 
-    /// `clear` leaves certainty about unmasked atoms intact.
-    #[test]
-    fn clear_preserves_unmasked_knowledge(a in 0..N as u32, b in 0..N as u32) {
-        prop_assume!(a != b);
+/// `clear` leaves certainty about unmasked atoms intact.
+#[test]
+fn clear_preserves_unmasked_knowledge() {
+    let mut rng = Rng::new(0x41A8);
+    for _ in 0..CASES {
+        let a = rng.below(N as u64) as u32;
+        let b = rng.below(N as u64) as u32;
+        if a == b {
+            continue;
+        }
         let mut db = ClausalDatabase::new();
         db.insert(Wff::atom(a).and(Wff::atom(b)));
         db.clear([AtomId(a)]);
-        prop_assert!(!db.is_certain(&Wff::atom(a)));
-        prop_assert!(db.is_certain(&Wff::atom(b)));
+        assert!(!db.is_certain(&Wff::atom(a)));
+        assert!(db.is_certain(&Wff::atom(b)));
     }
 }
 

@@ -2,109 +2,80 @@
 //! and random valuations of their variables, the optimized term denotes
 //! the same world set under BLU-I — and hence (emulation) the same
 //! meaning under BLU-C.
+//!
+//! Seeded deterministic loops stand in for the old proptest strategies.
 
-use proptest::prelude::*;
-
-use pwdb::blu::{eval_sterm, BluInstance, Env, MTerm, Optimizer, STerm};
-use pwdb::logic::AtomId;
+use pwdb::blu::{eval_sterm, BluInstance, Env, Optimizer, STerm};
+use pwdb::logic::Rng;
 use pwdb::worlds::{Mask, WorldSet};
+use pwdb_suite::testgen;
 
 const N: usize = 4;
+const CASES: usize = 192;
 const STATE_VARS: [&str; 3] = ["s0", "s1", "s2"];
 const MASK_VARS: [&str; 2] = ["m0", "m1"];
 
-fn arb_sterm() -> impl Strategy<Value = STerm> {
-    let leaf = prop_oneof![
-        Just(STerm::var("s0")),
-        Just(STerm::var("s1")),
-        Just(STerm::var("s2")),
-    ];
-    leaf.prop_recursive(4, 64, 2, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.assert(b)),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.combine(b)),
-            inner.clone().prop_map(STerm::complement),
-            (inner.clone(), prop_oneof![
-                Just(MTerm::var("m0")),
-                Just(MTerm::var("m1")),
-            ])
-                .prop_map(|(a, m)| a.mask(m)),
-            (inner.clone(), inner).prop_map(|(a, g)| a.mask(g.genmask())),
-        ]
-    })
+fn arb_sterm(rng: &mut Rng) -> STerm {
+    testgen::sterm(rng, 4, &MASK_VARS)
 }
 
-fn arb_state() -> impl Strategy<Value = WorldSet> {
-    proptest::collection::btree_set(0u64..(1 << N), 0..=6).prop_map(|bits| {
-        let mut s = WorldSet::empty(N);
-        for b in bits {
-            s.insert(pwdb::worlds::World::from_bits(b, N));
-        }
-        s
-    })
+fn arb_state(rng: &mut Rng) -> WorldSet {
+    testgen::world_set(rng, N, 6)
 }
 
-fn arb_mask_value() -> impl Strategy<Value = Mask> {
-    proptest::collection::btree_set(0..N as u32, 0..=2)
-        .prop_map(|s| s.into_iter().map(AtomId).collect())
+fn arb_mask_value(rng: &mut Rng) -> Mask {
+    testgen::mask(rng, N, 2)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(192))]
-
-    #[test]
-    fn optimizer_preserves_instance_semantics(
-        term in arb_sterm(),
-        states in proptest::array::uniform3(arb_state()),
-        masks in proptest::array::uniform2(arb_mask_value()),
-    ) {
+#[test]
+fn optimizer_preserves_instance_semantics() {
+    let mut rng = Rng::new(0x0971);
+    for _ in 0..CASES {
+        let term = arb_sterm(&mut rng);
         let alg = BluInstance::new(N);
         let mut env: Env<BluInstance> = Env::new();
-        for (name, value) in STATE_VARS.iter().zip(states.iter()) {
-            env.bind_state(name, value.clone());
+        for name in STATE_VARS {
+            env.bind_state(name, arb_state(&mut rng));
         }
-        for (name, value) in MASK_VARS.iter().zip(masks.iter()) {
-            env.bind_mask(name, value.clone());
+        for name in MASK_VARS {
+            env.bind_mask(name, arb_mask_value(&mut rng));
         }
 
         let before = eval_sterm(&alg, &term, &env).unwrap();
         let (optimized, stats) = Optimizer::new().optimize_term(&term);
         let after = eval_sterm(&alg, &optimized, &env).unwrap();
-        prop_assert_eq!(
-            before,
-            after,
-            "term {} optimized to {} ({} rewrites)",
-            term,
-            optimized,
+        assert_eq!(
+            before, after,
+            "term {term} optimized to {optimized} ({} rewrites)",
             stats.rewrites
         );
         // The optimizer never grows a term.
-        prop_assert!(stats.size_after <= stats.size_before);
+        assert!(stats.size_after <= stats.size_before);
     }
+}
 
-    /// Under integrity constraints the involution rule is UNSOUND —
-    /// `mask` can carry legal states outside `ILDB` (see the regression
-    /// test below) — so the optimizer must be run with
-    /// `assuming_full_universe(false)`, under which it stays sound.
-    #[test]
-    fn optimizer_sound_under_constraints_with_flag(
-        term in arb_sterm(),
-        states in proptest::array::uniform3(arb_state()),
-        masks in proptest::array::uniform2(arb_mask_value()),
-    ) {
-        // Universe: worlds where A1 → A2.
-        let mut schema = pwdb::worlds::Schema::with_atoms(N);
-        schema.add_constraints("{!A1 | A2}").unwrap();
-        let alg = BluInstance::for_schema(&schema);
-        let legal = schema.legal_worlds();
+/// Under integrity constraints the involution rule is UNSOUND — `mask`
+/// can carry legal states outside `ILDB` (see the regression test below)
+/// — so the optimizer must be run with `assuming_full_universe(false)`,
+/// under which it stays sound.
+#[test]
+fn optimizer_sound_under_constraints_with_flag() {
+    let mut rng = Rng::new(0x0972);
+    // Universe: worlds where A1 → A2.
+    let mut schema = pwdb::worlds::Schema::with_atoms(N);
+    schema.add_constraints("{!A1 | A2}").unwrap();
+    let alg = BluInstance::for_schema(&schema);
+    let legal = schema.legal_worlds();
 
+    for _ in 0..CASES {
+        let term = arb_sterm(&mut rng);
         let mut env: Env<BluInstance> = Env::new();
-        for (name, value) in STATE_VARS.iter().zip(states.iter()) {
+        for name in STATE_VARS {
             // Clamp bound states into the legal universe.
-            env.bind_state(name, value.intersect(&legal));
+            env.bind_state(name, arb_state(&mut rng).intersect(&legal));
         }
-        for (name, value) in MASK_VARS.iter().zip(masks.iter()) {
-            env.bind_mask(name, value.clone());
+        for name in MASK_VARS {
+            env.bind_mask(name, arb_mask_value(&mut rng));
         }
 
         let before = eval_sterm(&alg, &term, &env).unwrap();
@@ -112,7 +83,7 @@ proptest! {
             .assuming_full_universe(false)
             .optimize_term(&term);
         let after = eval_sterm(&alg, &optimized, &env).unwrap();
-        prop_assert_eq!(before, after, "term {} vs {}", term, optimized);
+        assert_eq!(before, after, "term {term} vs {optimized}");
     }
 }
 
@@ -130,10 +101,7 @@ fn involution_unsound_under_constraints() {
     let a1 = pwdb::logic::parse_wff("A1", &mut atoms).unwrap();
     let s0 = WorldSet::from_wff(N, &a1).intersect(&schema.legal_worlds());
 
-    let term = pwdb::blu::parse_sterm(
-        "(complement (complement (mask s0 (genmask s0))))",
-    )
-    .unwrap();
+    let term = pwdb::blu::parse_sterm("(complement (complement (mask s0 (genmask s0))))").unwrap();
     let inner = pwdb::blu::parse_sterm("(mask s0 (genmask s0))").unwrap();
     let mut env: Env<BluInstance> = Env::new();
     env.bind_state("s0", s0);

@@ -15,8 +15,7 @@ fn atoms5() -> AtomTable {
 #[test]
 fn example_3_1_5_clause_level_insert() {
     let mut t = atoms5();
-    let phi =
-        parse_clause_set("{!A1 | A3, A1 | A4, A4 | A5, !A1 | !A2 | !A5}", &mut t).unwrap();
+    let phi = parse_clause_set("{!A1 | A3, A1 | A4, A4 | A5, !A1 | !A2 | !A5}", &mut t).unwrap();
     let param = parse_clause_set("{A1 | A2}", &mut t).unwrap();
     let alg = BluClausal::new();
 
@@ -38,8 +37,7 @@ fn example_3_1_5_clause_level_insert() {
 #[test]
 fn example_3_2_5_where_insert() {
     let mut t = atoms5();
-    let phi =
-        parse_clause_set("{!A1 | A3, A1 | A4, A4 | A5, !A1 | !A2 | !A5}", &mut t).unwrap();
+    let phi = parse_clause_set("{!A1 | A3, A1 | A4, A4 | A5, !A1 | !A2 | !A5}", &mut t).unwrap();
 
     // Run the full program through the clausal database.
     let mut db = ClausalDatabase::new();
@@ -59,8 +57,7 @@ fn example_3_2_5_where_insert() {
     let param = parse_clause_set("{A1 | A2}", &mut t).unwrap();
     let gm = alg.op_genmask(&param);
     let then_branch = alg.op_assert(&alg.op_mask(&alg.op_assert(&phi, &a5), &gm), &param);
-    let expected_then =
-        parse_clause_set("{A4 | A5, A3 | A4, A5, A1 | A2}", &mut t).unwrap();
+    let expected_then = parse_clause_set("{A4 | A5, A3 | A4, A5, A1 | A2}", &mut t).unwrap();
     assert_eq!(then_branch, expected_then);
 }
 
@@ -118,8 +115,14 @@ fn definition_1_3_3_closed_world_modify() {
     use pwdb::worlds::World;
     let m = modify_atoms(2, AtomId(0), AtomId(1));
     // t present → moved; t absent → no-op.
-    assert_eq!(m.apply(&World::from_bits(0b01, 2)), World::from_bits(0b10, 2));
-    assert_eq!(m.apply(&World::from_bits(0b00, 2)), World::from_bits(0b00, 2));
+    assert_eq!(
+        m.apply(&World::from_bits(0b01, 2)),
+        World::from_bits(0b10, 2)
+    );
+    assert_eq!(
+        m.apply(&World::from_bits(0b00, 2)),
+        World::from_bits(0b00, 2)
+    );
 }
 
 #[test]

@@ -1,129 +1,161 @@
 //! Robustness fuzzing for the three parsers: arbitrary input must never
 //! panic — it either parses or returns a structured error — and
 //! display→parse round-trips are exact.
-
-use proptest::prelude::*;
+//!
+//! Seeded deterministic loops stand in for the old proptest strategies:
+//! one generator emits arbitrary printable-unicode strings, the other
+//! concatenates grammar fragments ("grammar soup") that stress the
+//! parsers near-valid input.
 
 use pwdb::blu::parse_program;
 use pwdb::hlu::parse_hlu;
-use pwdb::logic::{parse_clause_set, parse_wff, AtomTable};
+use pwdb::logic::{parse_clause_set, parse_wff, AtomTable, Rng};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(512))]
+const CASES: usize = 512;
 
-    #[test]
-    fn wff_parser_never_panics(input in "\\PC*") {
+/// An arbitrary string of printable characters (ASCII plus a sprinkling
+/// of multi-byte unicode, like the old `\PC*` regex strategy).
+fn arbitrary_text(rng: &mut Rng) -> String {
+    const EXOTIC: [char; 8] = ['λ', 'Φ', '∨', '¬', '→', '𝔻', '☃', 'é'];
+    let len = rng.range_usize(0, 40);
+    (0..len)
+        .map(|_| {
+            if rng.below(8) == 0 {
+                EXOTIC[rng.index(EXOTIC.len())]
+            } else {
+                // Printable ASCII: 0x20..=0x7E.
+                (0x20 + rng.below(0x5F) as u8) as char
+            }
+        })
+        .collect()
+}
+
+/// Near-grammatical soup from the languages' own token inventory.
+fn grammar_soup(rng: &mut Rng, tokens: &[&str], max_len: usize) -> String {
+    let len = rng.range_usize(0, max_len);
+    (0..len).map(|_| tokens[rng.index(tokens.len())]).collect()
+}
+
+const WFF_TOKENS: [&str; 14] = [
+    "A1", "A2", "(", ")", "&", "|", "!", "->", "<->", "0", "1", " ", "{", "}",
+];
+
+#[test]
+fn wff_parser_never_panics() {
+    let mut rng = Rng::new(0xF021);
+    for _ in 0..CASES {
+        let input = arbitrary_text(&mut rng);
         let mut t = AtomTable::new();
         let _ = parse_wff(&input, &mut t);
     }
+}
 
-    #[test]
-    fn wff_parser_never_panics_on_grammar_soup(
-        input in proptest::collection::vec(
-            prop_oneof![
-                Just("A1"), Just("A2"), Just("("), Just(")"), Just("&"),
-                Just("|"), Just("!"), Just("->"), Just("<->"), Just("0"),
-                Just("1"), Just(" "), Just("{"), Just("}"),
-            ],
-            0..24,
-        )
-    ) {
-        let text: String = input.concat();
+#[test]
+fn wff_parser_never_panics_on_grammar_soup() {
+    let mut rng = Rng::new(0xF022);
+    for _ in 0..CASES {
+        let text = grammar_soup(&mut rng, &WFF_TOKENS, 24);
         let mut t = AtomTable::new();
         let _ = parse_wff(&text, &mut t);
     }
+}
 
-    #[test]
-    fn clause_set_parser_never_panics(input in "\\PC*") {
+#[test]
+fn clause_set_parser_never_panics() {
+    let mut rng = Rng::new(0xF023);
+    for _ in 0..CASES {
+        let input = arbitrary_text(&mut rng);
         let mut t = AtomTable::new();
         let _ = parse_clause_set(&input, &mut t);
     }
+}
 
-    #[test]
-    fn hlu_parser_never_panics(input in "\\PC*") {
+#[test]
+fn hlu_parser_never_panics() {
+    let mut rng = Rng::new(0xF024);
+    for _ in 0..CASES {
+        let input = arbitrary_text(&mut rng);
         let mut t = AtomTable::new();
         let _ = parse_hlu(&input, &mut t);
     }
+}
 
-    #[test]
-    fn blu_parser_never_panics(input in "\\PC*") {
+#[test]
+fn blu_parser_never_panics() {
+    let mut rng = Rng::new(0xF025);
+    for _ in 0..CASES {
+        let input = arbitrary_text(&mut rng);
         let _ = parse_program(&input);
     }
+}
 
-    /// Any successfully parsed wff prints to text that reparses to the
-    /// same AST (over a table with the same interning order).
-    #[test]
-    fn wff_display_roundtrip(
-        input in proptest::collection::vec(
-            prop_oneof![
-                Just("a"), Just("b"), Just("c"), Just("("), Just(")"),
-                Just(" & "), Just(" | "), Just("!"), Just(" -> "),
-                Just(" <-> "), Just("0"), Just("1"),
-            ],
-            1..16,
-        )
-    ) {
-        let text: String = input.concat();
+/// Any successfully parsed wff prints to text that reparses to the
+/// same AST (over a table with the same interning order).
+#[test]
+fn wff_display_roundtrip() {
+    const TOKENS: [&str; 12] = [
+        "a", "b", "c", "(", ")", " & ", " | ", "!", " -> ", " <-> ", "0", "1",
+    ];
+    let mut rng = Rng::new(0xF026);
+    for _ in 0..CASES {
+        let text = grammar_soup(&mut rng, &TOKENS, 16);
         let mut t = AtomTable::new();
         if let Ok(w) = parse_wff(&text, &mut t) {
             let printed = w.to_string();
             // Reparse against a table seeded with the paper-style names
             // the printer used (A1, A2, …).
             let mut t2 = AtomTable::with_indexed_atoms(t.len());
-            let reparsed = parse_wff(&printed, &mut t2).unwrap_or_else(|e| {
-                panic!("printed form {printed:?} failed to reparse: {e}")
-            });
-            prop_assert_eq!(w, reparsed);
+            let reparsed = parse_wff(&printed, &mut t2)
+                .unwrap_or_else(|e| panic!("printed form {printed:?} failed to reparse: {e}"));
+            assert_eq!(w, reparsed);
+        }
+    }
+}
+
+/// Same for HLU programs built from a generator (printer output must
+/// reparse identically).
+#[test]
+fn hlu_display_roundtrip() {
+    use pwdb::hlu::HluProgram as P;
+    use pwdb::logic::Wff;
+
+    fn small_wff(rng: &mut Rng) -> Wff {
+        let a = Wff::atom(rng.below(4) as u32);
+        let b = Wff::atom(rng.below(4) as u32);
+        match rng.below(3) {
+            0 => a,
+            1 => a.or(b),
+            _ => a.and(b.not()),
         }
     }
 
-    /// Same for HLU programs built from a generator (printer output must
-    /// reparse identically).
-    #[test]
-    fn hlu_display_roundtrip(seed in any::<u64>()) {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-        let mut t = AtomTable::with_indexed_atoms(4);
-        // Build a random small program via the public AST.
-        fn random_prog(
-            rng: &mut rand::rngs::StdRng,
-            depth: usize,
-        ) -> pwdb::hlu::HluProgram {
-            use pwdb::hlu::HluProgram as P;
-            use pwdb::logic::Wff;
-            let wff = |rng: &mut rand::rngs::StdRng| {
-                let a = Wff::atom(rng.gen_range(0..4u32));
-                let b = Wff::atom(rng.gen_range(0..4u32));
-                match rng.gen_range(0..3) {
-                    0 => a,
-                    1 => a.or(b),
-                    _ => a.and(b.not()),
-                }
-            };
-            match rng.gen_range(0..if depth == 0 { 5 } else { 7 }) {
-                0 => P::Assert(wff(rng)),
-                1 => P::Insert(wff(rng)),
-                2 => P::Delete(wff(rng)),
-                3 => P::Modify(wff(rng), wff(rng)),
-                4 => P::Clear(
-                    (0..rng.gen_range(0..3))
-                        .map(|_| pwdb::logic::AtomId(rng.gen_range(0..4u32)))
-                        .collect(),
-                ),
-                5 => P::where1(wff(rng), random_prog(rng, depth - 1)),
-                _ => P::where2(
-                    wff(rng),
-                    random_prog(rng, depth - 1),
-                    random_prog(rng, depth - 1),
-                ),
-            }
+    fn random_prog(rng: &mut Rng, depth: usize) -> P {
+        match rng.below(if depth == 0 { 5 } else { 7 }) {
+            0 => P::Assert(small_wff(rng)),
+            1 => P::Insert(small_wff(rng)),
+            2 => P::Delete(small_wff(rng)),
+            3 => P::Modify(small_wff(rng), small_wff(rng)),
+            4 => P::Clear(
+                (0..rng.below(3))
+                    .map(|_| pwdb::logic::AtomId(rng.below(4) as u32))
+                    .collect(),
+            ),
+            5 => P::where1(small_wff(rng), random_prog(rng, depth - 1)),
+            _ => P::where2(
+                small_wff(rng),
+                random_prog(rng, depth - 1),
+                random_prog(rng, depth - 1),
+            ),
         }
+    }
+
+    let mut rng = Rng::new(0xF027);
+    for _ in 0..CASES {
         let prog = random_prog(&mut rng, 2);
         let printed = prog.to_string();
         let mut t2 = AtomTable::with_indexed_atoms(4);
         let reparsed = parse_hlu(&printed, &mut t2)
             .unwrap_or_else(|e| panic!("printed {printed:?} failed: {e}"));
-        prop_assert_eq!(prog, reparsed);
-        let _ = &mut t;
+        assert_eq!(prog, reparsed);
     }
 }

@@ -4,57 +4,37 @@
 //! strength: because `e_CI` respects every operator, it respects every
 //! term built from them, which these tests confirm directly on deep
 //! random terms with shared subexpressions.
-
-use proptest::prelude::*;
+//!
+//! Seeded deterministic loops stand in for the old proptest strategies.
 
 use pwdb::blu::{
-    clause_state_to_worlds, eval_sterm, BluClausal, BluInstance, Env, GenmaskStrategy, MTerm,
-    Optimizer, STerm,
+    clause_state_to_worlds, eval_sterm, BluClausal, BluInstance, Env, GenmaskStrategy, Optimizer,
+    STerm,
 };
-use pwdb::logic::{cnf_of, AtomId, ClauseSet, Wff};
+use pwdb::logic::{cnf_of, AtomId, ClauseSet, Rng, Wff};
 use pwdb::worlds::WorldSet;
+use pwdb_suite::testgen;
 
 const N: usize = 4;
+const CASES: usize = 128;
 
-fn arb_wff(depth: u32) -> impl Strategy<Value = Wff> {
-    let leaf = prop_oneof![
-        (0..N as u32).prop_map(Wff::atom),
-        (0..N as u32).prop_map(|a| Wff::atom(a).not()),
-    ];
-    leaf.prop_recursive(depth, 16, 2, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.and(b)),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.or(b)),
-            (inner.clone(), inner).prop_map(|(a, b)| a.implies(b)),
-        ]
-    })
+fn arb_wff(rng: &mut Rng, depth: usize) -> Wff {
+    testgen::wff(rng, N, depth)
 }
 
-fn arb_sterm() -> impl Strategy<Value = STerm> {
-    let leaf = prop_oneof![
-        Just(STerm::var("s0")),
-        Just(STerm::var("s1")),
-        Just(STerm::var("s2")),
-    ];
-    leaf.prop_recursive(5, 48, 2, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.assert(b)),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.combine(b)),
-            inner.clone().prop_map(STerm::complement),
-            (inner.clone(), inner.clone()).prop_map(|(a, g)| a.mask(g.genmask())),
-            (inner.clone(), Just(MTerm::var("m0"))).prop_map(|(a, m)| a.mask(m)),
-        ]
-    })
+fn arb_sterm(rng: &mut Rng) -> STerm {
+    testgen::sterm(rng, 5, &["m0"])
 }
 
-fn run_both(
-    term: &STerm,
-    wffs: &[Wff; 3],
-    mask_atoms: &[u32],
-) -> (ClauseSet, WorldSet) {
+fn arb_mask_atoms(rng: &mut Rng) -> Vec<u32> {
+    (0..rng.range_usize(0, 3))
+        .map(|_| rng.below(N as u64) as u32)
+        .collect()
+}
+
+fn run_both(term: &STerm, wffs: &[Wff; 3], mask_atoms: &[u32]) -> (ClauseSet, WorldSet) {
     let names = ["s0", "s1", "s2"];
-    let mask: std::collections::BTreeSet<AtomId> =
-        mask_atoms.iter().map(|&a| AtomId(a)).collect();
+    let mask: std::collections::BTreeSet<AtomId> = mask_atoms.iter().map(|&a| AtomId(a)).collect();
 
     let clausal = BluClausal::new();
     let mut cenv: Env<BluClausal> = Env::new();
@@ -75,57 +55,62 @@ fn run_both(
     (c_out, i_out)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// The full homomorphism: e_CI(run_C(program)) = run_I(program) for
-    /// deep random programs.
-    #[test]
-    fn whole_programs_emulate(
-        term in arb_sterm(),
-        w0 in arb_wff(2),
-        w1 in arb_wff(2),
-        w2 in arb_wff(1),
-        mask_atoms in proptest::collection::vec(0..N as u32, 0..=2),
-    ) {
-        let (c_out, i_out) = run_both(&term, &[w0, w1, w2], &mask_atoms);
-        prop_assert_eq!(
+/// The full homomorphism: e_CI(run_C(program)) = run_I(program) for
+/// deep random programs.
+#[test]
+fn whole_programs_emulate() {
+    let mut rng = Rng::new(0x9E01);
+    for _ in 0..CASES {
+        let term = arb_sterm(&mut rng);
+        let wffs = [
+            arb_wff(&mut rng, 2),
+            arb_wff(&mut rng, 2),
+            arb_wff(&mut rng, 1),
+        ];
+        let mask_atoms = arb_mask_atoms(&mut rng);
+        let (c_out, i_out) = run_both(&term, &wffs, &mask_atoms);
+        assert_eq!(
             clause_state_to_worlds(N, &c_out),
             i_out,
-            "program {} diverged",
-            term
+            "program {term} diverged"
         );
     }
+}
 
-    /// Optimized programs agree with unoptimized ones across BOTH
-    /// algebras — the optimizer's soundness composed with the emulation.
-    #[test]
-    fn optimized_programs_emulate_too(
-        term in arb_sterm(),
-        w0 in arb_wff(2),
-        w1 in arb_wff(1),
-        w2 in arb_wff(1),
-        mask_atoms in proptest::collection::vec(0..N as u32, 0..=2),
-    ) {
+/// Optimized programs agree with unoptimized ones across BOTH algebras —
+/// the optimizer's soundness composed with the emulation.
+#[test]
+fn optimized_programs_emulate_too() {
+    let mut rng = Rng::new(0x9E02);
+    for _ in 0..CASES {
+        let term = arb_sterm(&mut rng);
+        let wffs = [
+            arb_wff(&mut rng, 2),
+            arb_wff(&mut rng, 1),
+            arb_wff(&mut rng, 1),
+        ];
+        let mask_atoms = arb_mask_atoms(&mut rng);
         let (optimized, _) = Optimizer::new().optimize_term(&term);
-        let wffs = [w0, w1, w2];
         let (_, i_raw) = run_both(&term, &wffs, &mask_atoms);
         let (c_opt, i_opt) = run_both(&optimized, &wffs, &mask_atoms);
-        prop_assert_eq!(&i_raw, &i_opt, "optimizer changed meaning of {}", term);
-        prop_assert_eq!(clause_state_to_worlds(N, &c_opt), i_raw);
+        assert_eq!(&i_raw, &i_opt, "optimizer changed meaning of {term}");
+        assert_eq!(clause_state_to_worlds(N, &c_opt), i_raw);
     }
+}
 
-    /// The reduced (subsumption) and SAT-genmask clausal algebra agrees
-    /// with the paper-exact one on whole programs, world-for-world.
-    #[test]
-    fn algebra_variants_agree_on_programs(
-        term in arb_sterm(),
-        w0 in arb_wff(2),
-        w1 in arb_wff(1),
-        w2 in arb_wff(1),
-    ) {
+/// The reduced (subsumption) and SAT-genmask clausal algebra agrees
+/// with the paper-exact one on whole programs, world-for-world.
+#[test]
+fn algebra_variants_agree_on_programs() {
+    let mut rng = Rng::new(0x9E03);
+    for _ in 0..CASES {
+        let term = arb_sterm(&mut rng);
+        let wffs = [
+            arb_wff(&mut rng, 2),
+            arb_wff(&mut rng, 1),
+            arb_wff(&mut rng, 1),
+        ];
         let names = ["s0", "s1", "s2"];
-        let wffs = [w0, w1, w2];
 
         let exact = BluClausal::new();
         let tuned = BluClausal::new()
@@ -141,11 +126,10 @@ proptest! {
         env_b.bind_mask("m0", [AtomId(0)].into_iter().collect());
         let a = eval_sterm(&exact, &term, &env_a).expect("bound");
         let b = eval_sterm(&tuned, &term, &env_b).expect("bound");
-        prop_assert_eq!(
+        assert_eq!(
             clause_state_to_worlds(N, &a),
             clause_state_to_worlds(N, &b),
-            "variants diverged on {}",
-            term
+            "variants diverged on {term}"
         );
     }
 }

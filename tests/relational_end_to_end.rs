@@ -127,7 +127,9 @@ fn dictionary_narrowing_interacts_with_store_worlds() {
     assert_eq!(store.worlds(&s, &g).len(), 3);
 
     // Learning "not t2" narrows the null via an exclusion exception.
-    let SymRef::Internal(id) = u else { unreachable!() };
+    let SymRef::Internal(id) = u else {
+        unreachable!()
+    };
     let entry = store.dictionary().entry(id).clone();
     store.dictionary_mut().narrow(
         id,
@@ -167,7 +169,9 @@ fn semantic_resolution_narrows_against_store_facts() {
     assert!(resolvent.is_empty(), "complete refutation");
     assert_eq!(unifier[2].count_ones(), 1);
     // The unifier's third position is exactly {t3}.
-    let SymRef::External(t3_id) = t3 else { unreachable!() };
+    let SymRef::External(t3_id) = t3 else {
+        unreachable!()
+    };
     assert_eq!(unifier[2], 1u64 << t3_id);
 }
 
@@ -185,7 +189,10 @@ fn ill_typed_existential_yields_no_worlds() {
     let bad = store
         .dictionary_mut()
         .activate(CategoryExpr::of_type(person_expr));
-    store.add_fact(r, vec![SymRef::External(jones), SymRef::External(sales), bad]);
+    store.add_fact(
+        r,
+        vec![SymRef::External(jones), SymRef::External(sales), bad],
+    );
     assert!(store.worlds(&s, &g).is_empty());
 }
 

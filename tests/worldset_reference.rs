@@ -2,15 +2,18 @@
 //! reference implementation (`BTreeSet<u64>`): every operation the BLU
 //! instance semantics relies on must agree with naive set semantics,
 //! including the word-level flip tricks across block boundaries.
+//!
+//! Seeded deterministic loops stand in for the old proptest strategies;
+//! every run explores the same cases.
 
 use std::collections::BTreeSet;
 
-use proptest::prelude::*;
-
-use pwdb::logic::AtomId;
+use pwdb::logic::{AtomId, Rng};
 use pwdb::worlds::{World, WorldSet};
+use pwdb_suite::testgen;
 
 const N: usize = 8; // crosses the 64-bit block boundary (2^8 = 4 blocks)
+const CASES: usize = 256;
 
 fn from_bits(bits: &BTreeSet<u64>) -> WorldSet {
     let mut s = WorldSet::empty(N);
@@ -28,88 +31,119 @@ fn ref_flip(bits: &BTreeSet<u64>, atom: u32) -> BTreeSet<u64> {
     bits.iter().map(|b| b ^ (1 << atom)).collect()
 }
 
-fn arb_bits() -> impl Strategy<Value = BTreeSet<u64>> {
-    proptest::collection::btree_set(0u64..(1 << N), 0..=32)
+fn arb_bits(rng: &mut Rng) -> BTreeSet<u64> {
+    testgen::world_bits(rng, N, 32)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    #[test]
-    fn roundtrip(bits in arb_bits()) {
-        prop_assert_eq!(to_bits(&from_bits(&bits)), bits);
+#[test]
+fn roundtrip() {
+    let mut rng = Rng::new(0x5E71);
+    for _ in 0..CASES {
+        let bits = arb_bits(&mut rng);
+        assert_eq!(to_bits(&from_bits(&bits)), bits);
     }
+}
 
-    #[test]
-    fn boolean_ops_match_reference(a in arb_bits(), b in arb_bits()) {
+#[test]
+fn boolean_ops_match_reference() {
+    let mut rng = Rng::new(0x5E72);
+    for _ in 0..CASES {
+        let a = arb_bits(&mut rng);
+        let b = arb_bits(&mut rng);
         let wa = from_bits(&a);
         let wb = from_bits(&b);
-        prop_assert_eq!(
+        assert_eq!(
             to_bits(&wa.union(&wb)),
             a.union(&b).copied().collect::<BTreeSet<u64>>()
         );
-        prop_assert_eq!(
+        assert_eq!(
             to_bits(&wa.intersect(&wb)),
             a.intersection(&b).copied().collect::<BTreeSet<u64>>()
         );
-        prop_assert_eq!(
+        assert_eq!(
             to_bits(&wa.difference(&wb)),
             a.difference(&b).copied().collect::<BTreeSet<u64>>()
         );
-        prop_assert_eq!(wa.is_subset(&wb), a.is_subset(&b));
+        assert_eq!(wa.is_subset(&wb), a.is_subset(&b));
     }
+}
 
-    #[test]
-    fn complement_matches_reference(a in arb_bits()) {
+#[test]
+fn complement_matches_reference() {
+    let mut rng = Rng::new(0x5E73);
+    let full: BTreeSet<u64> = (0..(1u64 << N)).collect();
+    for _ in 0..CASES {
+        let a = arb_bits(&mut rng);
         let wa = from_bits(&a);
-        let full: BTreeSet<u64> = (0..(1u64 << N)).collect();
-        prop_assert_eq!(
+        assert_eq!(
             to_bits(&wa.complement()),
             full.difference(&a).copied().collect::<BTreeSet<u64>>()
         );
     }
+}
 
-    #[test]
-    fn flip_matches_reference_all_axes(a in arb_bits(), atom in 0..N as u32) {
+#[test]
+fn flip_matches_reference_all_axes() {
+    let mut rng = Rng::new(0x5E74);
+    for _ in 0..CASES {
+        let a = arb_bits(&mut rng);
+        let atom = rng.below(N as u64) as u32;
         let wa = from_bits(&a);
-        prop_assert_eq!(to_bits(&wa.flip(AtomId(atom))), ref_flip(&a, atom));
+        assert_eq!(to_bits(&wa.flip(AtomId(atom))), ref_flip(&a, atom));
     }
+}
 
-    #[test]
-    fn saturate_matches_reference(a in arb_bits(), atom in 0..N as u32) {
+#[test]
+fn saturate_matches_reference() {
+    let mut rng = Rng::new(0x5E75);
+    for _ in 0..CASES {
+        let a = arb_bits(&mut rng);
+        let atom = rng.below(N as u64) as u32;
         let wa = from_bits(&a);
-        let expected: BTreeSet<u64> =
-            a.union(&ref_flip(&a, atom)).copied().collect();
-        prop_assert_eq!(to_bits(&wa.saturate(AtomId(atom))), expected);
+        let expected: BTreeSet<u64> = a.union(&ref_flip(&a, atom)).copied().collect();
+        assert_eq!(to_bits(&wa.saturate(AtomId(atom))), expected);
     }
+}
 
-    #[test]
-    fn dep_matches_reference(a in arb_bits()) {
+#[test]
+fn dep_matches_reference() {
+    let mut rng = Rng::new(0x5E76);
+    for _ in 0..CASES {
+        let a = arb_bits(&mut rng);
         let wa = from_bits(&a);
         let dep: Vec<u32> = wa.dep().into_iter().map(|x| x.0).collect();
         let expected: Vec<u32> = (0..N as u32)
             .filter(|&atom| ref_flip(&a, atom) != a)
             .collect();
-        prop_assert_eq!(dep, expected);
+        assert_eq!(dep, expected);
     }
+}
 
-    #[test]
-    fn len_and_emptiness(a in arb_bits()) {
+#[test]
+fn len_and_emptiness() {
+    let mut rng = Rng::new(0x5E77);
+    for _ in 0..CASES {
+        let a = arb_bits(&mut rng);
         let wa = from_bits(&a);
-        prop_assert_eq!(wa.len(), a.len());
-        prop_assert_eq!(wa.is_empty(), a.is_empty());
+        assert_eq!(wa.len(), a.len());
+        assert_eq!(wa.is_empty(), a.is_empty());
     }
+}
 
-    #[test]
-    fn insert_remove_contains(a in arb_bits(), w in 0u64..(1 << N)) {
+#[test]
+fn insert_remove_contains() {
+    let mut rng = Rng::new(0x5E78);
+    for _ in 0..CASES {
+        let a = arb_bits(&mut rng);
+        let w = rng.below(1 << N);
         let mut wa = from_bits(&a);
         let world = World::from_bits(w, N);
-        prop_assert_eq!(wa.contains(world), a.contains(&w));
+        assert_eq!(wa.contains(world), a.contains(&w));
         let was_new = wa.insert(world);
-        prop_assert_eq!(was_new, !a.contains(&w));
-        prop_assert!(wa.contains(world));
+        assert_eq!(was_new, !a.contains(&w));
+        assert!(wa.contains(world));
         let removed = wa.remove(world);
-        prop_assert!(removed);
-        prop_assert!(!wa.contains(world));
+        assert!(removed);
+        assert!(!wa.contains(world));
     }
 }
