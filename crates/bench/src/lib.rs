@@ -9,6 +9,8 @@
 //! EXPERIMENTS.md for paper-vs-measured); the timing harnesses under
 //! `benches/` provide repeated-run median timings.
 
+pub mod workloads;
+
 use std::time::{Duration, Instant};
 
 use pwdb::logic::{AtomId, Clause, ClauseSet, Literal, Rng, Wff};

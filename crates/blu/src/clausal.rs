@@ -23,6 +23,7 @@ use std::collections::BTreeSet;
 use pwdb_logic::resolution::{drop_atoms, rclosure_on_atom};
 use pwdb_logic::{AtomId, Clause, ClauseSet, Literal};
 use pwdb_metrics::{counter, histogram, timer};
+use pwdb_trace::span;
 
 use crate::eval::BluSemantics;
 
@@ -131,9 +132,12 @@ impl BluClausal {
     /// variable forgetting.
     pub fn mask_step(phi: &ClauseSet, atom: AtomId) -> ClauseSet {
         counter!("blu.mask.steps").inc();
+        let sp = span!("blu.clausal.mask.step", "clauses_in" => phi.len());
         let closed = rclosure_on_atom(phi, atom);
         let single = BTreeSet::from([atom]);
-        drop_atoms(&closed, &single)
+        let out = drop_atoms(&closed, &single);
+        sp.attr("clauses_out", out.len());
+        out
     }
 
     /// `mask(Φ, P)`: eliminates each letter of `P` in turn.
@@ -250,16 +254,23 @@ impl BluSemantics for BluClausal {
     // (2.3.4(b) for assert/combine/complement, 2.3.6(b) for mask,
     // 2.3.9(b) for genmask): call count, input length L (total literal
     // count, the paper's measure), wall time, and an output-size
-    // histogram. See docs/PAPER_MAP.md.
+    // histogram. The trace span per call carries the theorem's dominant
+    // cost term as its `cost` attribute. See docs/PAPER_MAP.md.
 
     fn op_assert(&self, x: &ClauseSet, y: &ClauseSet) -> ClauseSet {
         counter!("blu.assert.calls").inc();
         counter!("blu.assert.in_length").add((x.length() + y.length()) as u64);
+        let sp = span!(
+            "blu.clausal.assert",
+            "in_clauses" => x.len() + y.len(),
+            "cost" => x.length() + y.length(), // Θ(L₁+L₂), Thm 2.3.4(b)
+        );
         let out = {
             let _t = timer!("blu.assert.wall").start();
             Self::assert_clauses(x, y)
         };
         histogram!("blu.assert.out_length").record(out.length() as u64);
+        sp.attr("out_clauses", out.len());
         out
     }
 
@@ -267,22 +278,34 @@ impl BluSemantics for BluClausal {
         counter!("blu.combine.calls").inc();
         counter!("blu.combine.in_length").add((x.length() + y.length()) as u64);
         counter!("blu.combine.products").add((x.length() * y.length()) as u64);
+        let sp = span!(
+            "blu.clausal.combine",
+            "in_clauses" => x.len() + y.len(),
+            "cost" => x.length() * y.length(), // Θ(L₁×L₂), Thm 2.3.4(b)
+        );
         let out = {
             let _t = timer!("blu.combine.wall").start();
             self.maybe_reduce(Self::combine_clauses(x, y))
         };
         histogram!("blu.combine.out_length").record(out.length() as u64);
+        sp.attr("out_clauses", out.len());
         out
     }
 
     fn op_complement(&self, x: &ClauseSet) -> ClauseSet {
         counter!("blu.complement.calls").inc();
         counter!("blu.complement.in_length").add(x.length() as u64);
+        let sp = span!(
+            "blu.clausal.complement",
+            "in_clauses" => x.len(),
+            "cost" => x.length(), // output is Θ(ε^L) in this L, Thm 2.3.4(b)
+        );
         let out = {
             let _t = timer!("blu.complement.wall").start();
             self.maybe_reduce(Self::complement_clauses(x))
         };
         histogram!("blu.complement.out_length").record(out.length() as u64);
+        sp.attr("out_clauses", out.len());
         out
     }
 
@@ -290,17 +313,33 @@ impl BluSemantics for BluClausal {
         counter!("blu.mask.calls").inc();
         counter!("blu.mask.in_length").add(x.length() as u64);
         counter!("blu.mask.letters").add(m.len() as u64);
+        let sp = span!(
+            "blu.clausal.mask",
+            "in_clauses" => x.len(),
+            "letters" => m.len(),
+            "cost" => x.length(), // O(L^{2^|P|}) in this L, Thm 2.3.6(b)
+        );
         let out = {
             let _t = timer!("blu.mask.wall").start();
             self.mask_clauses(x, m)
         };
         histogram!("blu.mask.out_length").record(out.length() as u64);
+        sp.attr("out_clauses", out.len());
         out
     }
 
     fn op_genmask(&self, x: &ClauseSet) -> BTreeSet<AtomId> {
         counter!("blu.genmask.calls").inc();
         counter!("blu.genmask.in_length").add(x.length() as u64);
+        let sp = span!("blu.clausal.genmask", "in_clauses" => x.len());
+        if sp.is_recording() {
+            // Θ(2^|Prop|·L·|Prop|²), Thm 2.3.9(b): record the dominant
+            // 2^|Prop| factor (saturating; |Prop| can exceed 63 under the
+            // SAT strategy). Gated: props() walks the whole set.
+            let props = x.props().len();
+            sp.attr("props", props);
+            sp.attr("cost", 1u64.checked_shl(props as u32).unwrap_or(u64::MAX));
+        }
         let out = {
             let _t = timer!("blu.genmask.wall").start();
             match self.genmask_strategy {
@@ -309,6 +348,7 @@ impl BluSemantics for BluClausal {
             }
         };
         histogram!("blu.genmask.mask_size").record(out.len() as u64);
+        sp.attr("mask_size", out.len());
         out
     }
 }

@@ -69,7 +69,8 @@ pub use pwdb_worlds as worlds;
 pub mod prelude {
     pub use pwdb_blu::{BluClausal, BluInstance, BluSemantics, GenmaskStrategy};
     pub use pwdb_hlu::{
-        compile, parse_hlu, parse_hlu_script, ClausalDatabase, HluProgram, InstanceDatabase,
+        compile, parse_hlu, parse_hlu_script, parse_hlu_statement, ClausalDatabase, Explanation,
+        HluProgram, HluStatement, InstanceDatabase,
     };
     pub use pwdb_logic::{
         parse_clause, parse_clause_set, parse_wff, AtomId, AtomTable, Clause, ClauseSet, Literal,

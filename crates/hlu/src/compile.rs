@@ -131,7 +131,12 @@ impl Fragment {
     }
 
     /// Full compilation with `where` expansion.
+    ///
+    /// Each recursion step opens one `hlu.compile.*` span, so the trace of
+    /// a compilation is the §3.1–3.2 translation tree itself: `where`
+    /// nodes contain the spans of their branch subprograms.
     fn expand(prog: &HluProgram, state: STerm, fresh: &mut u32) -> Fragment {
+        let _sp = pwdb_trace::span!(compile_span_name(prog));
         match prog {
             HluProgram::Where(cond, p_then, p_else) => {
                 let name = format!("s{}", *fresh);
@@ -153,6 +158,20 @@ impl Fragment {
     }
 }
 
+/// The `hlu.compile.*` span family: one name per translation rule of
+/// Definitions 3.1.2 (simple-HLU) and 3.2.3/3.2.4 (`where` macros).
+fn compile_span_name(prog: &HluProgram) -> &'static str {
+    match prog {
+        HluProgram::Identity => "hlu.compile.identity",
+        HluProgram::Assert(_) => "hlu.compile.assert",
+        HluProgram::Clear(_) => "hlu.compile.clear",
+        HluProgram::Insert(_) => "hlu.compile.insert",
+        HluProgram::Delete(_) => "hlu.compile.delete",
+        HluProgram::Modify(..) => "hlu.compile.modify",
+        HluProgram::Where(..) => "hlu.compile.where",
+    }
+}
+
 /// Compiles an HLU program to a closed BLU program plus argument values.
 ///
 /// The result's parameter list is `s0, s1, s2, …` with values for
@@ -161,6 +180,7 @@ impl Fragment {
 /// with `atomappend` suffixes: each occurrence of a subprogram gets its
 /// own parameter instances.
 pub fn compile(prog: &HluProgram) -> Compiled {
+    let sp = pwdb_trace::span!("hlu.compile");
     let mut fresh = 1;
     let fragment = Fragment::expand(prog, s0(), &mut fresh);
     let mut varlist = vec!["s0".to_owned()];
@@ -171,6 +191,8 @@ pub fn compile(prog: &HluProgram) -> Compiled {
     }
     let program = Program::new(varlist, fragment.body)
         .expect("compiler emits well-formed programs by construction");
+    sp.attr("params", args.len());
+    sp.attr("body_size", program.body().size());
     Compiled { program, args }
 }
 

@@ -203,6 +203,7 @@ impl<B: HluBackend> Database<B> {
         counter!("hlu.stmt.total").inc();
         stmt_counter(prog).inc();
         let _t = timer!("hlu.update.wall").start();
+        let _sp = pwdb_trace::span(stmt_span_name(prog));
         let compiled = compile(prog);
         let mut args: Vec<Value<B::State, B::Mask>> = Vec::with_capacity(compiled.args.len() + 1);
         args.push(Value::State(self.state.clone()));
@@ -217,6 +218,7 @@ impl<B: HluBackend> Database<B> {
         if let Some(con) = &self.constraints {
             counter!("hlu.constraints.enforcements").inc();
             let _tc = timer!("hlu.constraints.wall").start();
+            let _spc = pwdb_trace::span!("hlu.constraints");
             next = self
                 .backend
                 .op_assert(&next, &self.backend.lower_state(con));
@@ -254,6 +256,7 @@ impl<B: HluBackend> Database<B> {
     pub fn is_certain(&self, wff: &Wff) -> bool {
         counter!("hlu.query.certain.calls").inc();
         let _t = timer!("hlu.query.certain.wall").start();
+        let _sp = pwdb_trace::span!("hlu.query.certain");
         self.backend.certain(&self.state, wff)
     }
 
@@ -261,8 +264,43 @@ impl<B: HluBackend> Database<B> {
     pub fn is_possible(&self, wff: &Wff) -> bool {
         counter!("hlu.query.possible.calls").inc();
         let _t = timer!("hlu.query.possible.wall").start();
+        let _sp = pwdb_trace::span!("hlu.query.possible");
         !self.backend.certain(&self.state, &wff.clone().not())
             && self.backend.consistent(&self.state)
+    }
+
+    /// `EXPLAIN`: runs the program while recording its full execution
+    /// trace — the HLU→BLU translation tree, every BLU primitive invoked
+    /// (with clause counts and the theorem's dominant cost term), and the
+    /// logic-layer work underneath. The update **is applied**, exactly as
+    /// [`Database::run`] would; only the observation differs.
+    ///
+    /// In a `--no-default-features` build the program still runs but the
+    /// returned trace is empty.
+    pub fn explain(&mut self, prog: &HluProgram) -> Explanation {
+        let compiled = compile(prog);
+        let ((), trace) = pwdb_trace::capture(|| self.run(prog));
+        Explanation {
+            statement: prog.to_string(),
+            compiled: compiled.program.to_string(),
+            args: compiled
+                .args
+                .iter()
+                .enumerate()
+                .map(|(i, a)| {
+                    let value = match a {
+                        ArgValue::State(w) => w.to_string(),
+                        ArgValue::Mask(m) => {
+                            let names: Vec<String> =
+                                m.iter().map(|a| format!("A{}", a.index() + 1)).collect();
+                            format!("[{}]", names.join(" "))
+                        }
+                    };
+                    format!("s{} = {value}", i + 1)
+                })
+                .collect(),
+            trace,
+        }
     }
 
     /// Whether any possible world remains.
@@ -333,6 +371,55 @@ fn stmt_counter(prog: &HluProgram) -> &'static pwdb_metrics::Counter {
         HluProgram::Delete(_) => counter!("hlu.stmt.delete"),
         HluProgram::Modify(_, _) => counter!("hlu.stmt.modify"),
         HluProgram::Where(_, _, _) => counter!("hlu.stmt.where"),
+    }
+}
+
+/// The `hlu.stmt.*` span family (one name per statement kind, matching
+/// the counter family above).
+fn stmt_span_name(prog: &HluProgram) -> &'static str {
+    match prog {
+        HluProgram::Identity => "hlu.stmt.identity",
+        HluProgram::Assert(_) => "hlu.stmt.assert",
+        HluProgram::Clear(_) => "hlu.stmt.clear",
+        HluProgram::Insert(_) => "hlu.stmt.insert",
+        HluProgram::Delete(_) => "hlu.stmt.delete",
+        HluProgram::Modify(_, _) => "hlu.stmt.modify",
+        HluProgram::Where(_, _, _) => "hlu.stmt.where",
+    }
+}
+
+/// The result of [`Database::explain`]: the statement, its BLU
+/// compilation, the parameter bindings, and the recorded execution trace.
+#[derive(Debug, Clone)]
+pub struct Explanation {
+    /// The HLU statement as written.
+    pub statement: String,
+    /// The compiled BLU lambda (Definitions 3.1.2, 3.2.3/3.2.4).
+    pub compiled: String,
+    /// Rendered parameter bindings `s1 = …`, in order.
+    pub args: Vec<String>,
+    /// The recorded span tree (empty in a no-op build).
+    pub trace: pwdb_trace::Trace,
+}
+
+impl Explanation {
+    /// Renders the full explanation as the HLU shell prints it.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("statement: {}\n", self.statement));
+        out.push_str(&format!("compiled:  {}\n", self.compiled));
+        for a in &self.args {
+            out.push_str(&format!("  with {a}\n"));
+        }
+        out.push_str("trace:\n");
+        out.push_str(&self.trace.render_tree());
+        out
+    }
+}
+
+impl std::fmt::Display for Explanation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.render())
     }
 }
 

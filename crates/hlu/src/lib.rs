@@ -28,6 +28,6 @@ pub mod parser;
 pub use ast::HluProgram;
 pub use compile::{compile, ArgValue, Compiled};
 pub use database::{
-    ClausalDatabase, Database, HluBackend, InstanceDatabase, Savepoint, UpdateRejected,
+    ClausalDatabase, Database, Explanation, HluBackend, InstanceDatabase, Savepoint, UpdateRejected,
 };
-pub use parser::{parse_hlu, parse_hlu_script};
+pub use parser::{parse_hlu, parse_hlu_script, parse_hlu_statement, HluStatement};

@@ -145,6 +145,40 @@ impl<'a> Parser<'a> {
     }
 }
 
+/// A top-level HLU statement: a program to run, optionally wrapped in
+/// `EXPLAIN` (case-insensitive) to request an execution trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HluStatement {
+    /// Run the program normally.
+    Run(HluProgram),
+    /// Run the program and return its trace (`EXPLAIN (insert {...})`).
+    Explain(HluProgram),
+}
+
+impl HluStatement {
+    /// The wrapped program, either way.
+    pub fn program(&self) -> &HluProgram {
+        match self {
+            HluStatement::Run(p) | HluStatement::Explain(p) => p,
+        }
+    }
+}
+
+/// Parses a top-level statement: an HLU program with an optional leading
+/// `EXPLAIN` keyword.
+pub fn parse_hlu_statement(input: &str, atoms: &mut AtomTable) -> Result<HluStatement> {
+    let trimmed = input.trim_start();
+    let keyword_len = trimmed
+        .bytes()
+        .take_while(|b| b.is_ascii_alphabetic())
+        .count();
+    if trimmed[..keyword_len].eq_ignore_ascii_case("explain") && keyword_len > 0 {
+        let rest = &trimmed[keyword_len..];
+        return Ok(HluStatement::Explain(parse_hlu(rest, atoms)?));
+    }
+    Ok(HluStatement::Run(parse_hlu(input, atoms)?))
+}
+
 /// Parses an HLU program, interning atom names into `atoms`.
 pub fn parse_hlu(input: &str, atoms: &mut AtomTable) -> Result<HluProgram> {
     let mut p = Parser {
@@ -279,6 +313,29 @@ mod tests {
         .unwrap();
         assert_eq!(script.len(), 3);
         assert!(parse_hlu_script("", &mut t).unwrap().is_empty());
+    }
+
+    #[test]
+    fn statement_parsing_recognizes_explain() {
+        let mut t = AtomTable::with_indexed_atoms(3);
+        assert_eq!(
+            parse_hlu_statement("(insert {A1})", &mut t).unwrap(),
+            HluStatement::Run(HluProgram::Insert(a(0)))
+        );
+        for src in [
+            "EXPLAIN (insert {A1})",
+            "explain (insert {A1})",
+            "  Explain   (insert {A1})",
+        ] {
+            assert_eq!(
+                parse_hlu_statement(src, &mut t).unwrap(),
+                HluStatement::Explain(HluProgram::Insert(a(0))),
+                "{src}"
+            );
+        }
+        // EXPLAIN must wrap a valid program.
+        assert!(parse_hlu_statement("EXPLAIN", &mut t).is_err());
+        assert!(parse_hlu_statement("EXPLAIN junk", &mut t).is_err());
     }
 
     #[test]

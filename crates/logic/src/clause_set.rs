@@ -144,6 +144,7 @@ impl ClauseSet {
     /// dropped. A model-preserving reduction used by the optimized BLU-C
     /// operations.
     pub fn reduce_subsumed(&mut self) -> usize {
+        let sp = pwdb_trace::span!("logic.subsumption.sweep", "clauses_in" => self.clauses.len());
         let clauses: Vec<Clause> = self.clauses.iter().cloned().collect();
         let mut dropped = 0;
         for c in &clauses {
@@ -160,6 +161,7 @@ impl ClauseSet {
                 dropped += 1;
             }
         }
+        sp.attr("dropped", dropped);
         dropped
     }
 

@@ -9,6 +9,7 @@
 //! is exact and handles the worst cases the benchmarks construct.
 
 use pwdb_metrics::counter;
+use pwdb_trace::span;
 
 use crate::atom::AtomId;
 use crate::clause::Clause;
@@ -43,6 +44,16 @@ impl SatResult {
     }
 }
 
+/// Per-call search statistics, accumulated through the recursion and
+/// flushed to the global counters (and the call's trace span) once per
+/// [`Solver::solve_with`].
+#[derive(Default)]
+struct DpllStats {
+    decisions: u64,
+    propagations: u64,
+    conflicts: u64,
+}
+
 impl Solver {
     /// Builds a solver over `set`, with the atom universe sized to the
     /// larger of the set's own bound and `min_atoms`.
@@ -73,6 +84,11 @@ impl Solver {
     /// Solves under the given assumption literals.
     pub fn solve_with(&self, assumptions: &[Literal]) -> SatResult {
         counter!("logic.dpll.solves").inc();
+        let sp = span!(
+            "logic.dpll.solve",
+            "clauses" => self.clauses.len(),
+            "atoms" => self.n_atoms,
+        );
         let mut values: Vec<Option<bool>> = vec![None; self.n_atoms];
         for &lit in assumptions {
             let idx = lit.atom().index();
@@ -80,11 +96,25 @@ impl Solver {
                 values.resize(idx + 1, None);
             }
             match values[idx] {
-                Some(v) if v != lit.is_positive() => return SatResult::Unsat,
+                Some(v) if v != lit.is_positive() => {
+                    sp.attr("sat", false);
+                    return SatResult::Unsat;
+                }
                 _ => values[idx] = Some(lit.is_positive()),
             }
         }
-        if self.dpll(&mut values) {
+        let mut stats = DpllStats::default();
+        let sat = self.dpll(&mut values, &mut stats);
+        counter!("logic.dpll.decisions").add(stats.decisions);
+        counter!("logic.dpll.propagations").add(stats.propagations);
+        counter!("logic.dpll.conflicts").add(stats.conflicts);
+        if sp.is_recording() {
+            sp.attr("decisions", stats.decisions);
+            sp.attr("propagations", stats.propagations);
+            sp.attr("conflicts", stats.conflicts);
+            sp.attr("sat", sat);
+        }
+        if sat {
             let n = values.len().min(64);
             let mut bits = 0u64;
             for (i, v) in values.iter().take(n).enumerate() {
@@ -117,7 +147,7 @@ impl Solver {
         Some(open)
     }
 
-    fn dpll(&self, values: &mut Vec<Option<bool>>) -> bool {
+    fn dpll(&self, values: &mut Vec<Option<bool>>, stats: &mut DpllStats) -> bool {
         // Unit propagation to fixpoint.
         loop {
             let mut changed = false;
@@ -125,13 +155,13 @@ impl Solver {
                 match Self::clause_state(clause, values) {
                     None => {}
                     Some(open) if open.is_empty() => {
-                        counter!("logic.dpll.conflicts").inc();
+                        stats.conflicts += 1;
                         return false;
                     }
                     Some(open) if open.len() == 1 => {
                         let lit = open[0];
                         values[lit.atom().index()] = Some(lit.is_positive());
-                        counter!("logic.dpll.propagations").inc();
+                        stats.propagations += 1;
                         changed = true;
                     }
                     Some(_) => {}
@@ -151,7 +181,7 @@ impl Solver {
         for clause in &self.clauses {
             if let Some(open) = Self::clause_state(clause, values) {
                 if open.is_empty() {
-                    counter!("logic.dpll.conflicts").inc();
+                    stats.conflicts += 1;
                     return false;
                 }
                 any_open = true;
@@ -181,20 +211,20 @@ impl Solver {
             }
         }
         if assigned_pure {
-            return self.dpll(values);
+            return self.dpll(values, stats);
         }
 
         let atom = branch.expect("open clause implies an unassigned literal");
-        counter!("logic.dpll.decisions").inc();
+        stats.decisions += 1;
         let idx = atom.index();
         let snapshot = values.clone();
         values[idx] = Some(true);
-        if self.dpll(values) {
+        if self.dpll(values, stats) {
             return true;
         }
         *values = snapshot;
         values[idx] = Some(false);
-        self.dpll(values)
+        self.dpll(values, stats)
     }
 }
 

@@ -9,6 +9,7 @@
 use std::collections::BTreeSet;
 
 use pwdb_metrics::counter;
+use pwdb_trace::span;
 
 use crate::atom::AtomId;
 use crate::clause::Clause;
@@ -51,10 +52,16 @@ pub fn rclosure_on_atom(set: &ClauseSet, atom: AtomId) -> ClauseSet {
 /// The paper's `rclosure(Φ, P)`: closes `Φ` under resolution with respect
 /// to each proposition letter in `P`, in order.
 pub fn rclosure(set: &ClauseSet, atoms: &BTreeSet<AtomId>) -> ClauseSet {
+    let sp = span!(
+        "logic.resolution.rclosure",
+        "letters" => atoms.len(),
+        "clauses_in" => set.len(),
+    );
     let mut out = set.clone();
     for &a in atoms {
         out = rclosure_on_atom(&out, a);
     }
+    sp.attr("clauses_out", out.len());
     out
 }
 
@@ -71,9 +78,12 @@ pub fn drop_atoms(set: &ClauseSet, atoms: &BTreeSet<AtomId>) -> ClauseSet {
 /// Used by the refutation-based consistency check and by tests; worst-case
 /// exponential, as the paper's complexity discussion (§2.3.6) warns.
 pub fn saturate(set: &ClauseSet) -> ClauseSet {
+    let sp = span!("logic.resolution.saturate", "clauses_in" => set.len());
+    let mut rounds: u64 = 0;
     let mut current = set.clone();
     current.reduce_subsumed();
     loop {
+        rounds += 1;
         let mut added = false;
         let atoms: Vec<AtomId> = current.props().into_iter().collect();
         let snapshot = current.clone();
@@ -97,6 +107,8 @@ pub fn saturate(set: &ClauseSet) -> ClauseSet {
         }
         if !added {
             current.reduce_subsumed();
+            sp.attr("rounds", rounds);
+            sp.attr("clauses_out", current.len());
             return current;
         }
         current.reduce_subsumed();

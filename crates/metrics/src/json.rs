@@ -252,28 +252,23 @@ impl<'a> Parser<'a> {
                         b't' => out.push('\t'),
                         b'b' => out.push('\u{8}'),
                         b'f' => out.push('\u{c}'),
-                        b'u' => {
-                            if self.pos + 4 > self.bytes.len() {
-                                return Err(self.err("truncated \\u escape"));
-                            }
-                            let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
-                                .map_err(|_| self.err("non-ascii \\u escape"))?;
-                            let code = u32::from_str_radix(hex, 16)
-                                .map_err(|_| self.err("bad \\u escape"))?;
-                            self.pos += 4;
-                            match char::from_u32(code) {
-                                Some(c) => out.push(c),
-                                None => return Err(self.err("surrogate \\u escape")),
-                            }
+                        b'u' => out.push(self.unicode_escape()?),
+                        _ => {
+                            self.pos -= 1;
+                            return Err(self.err("unknown escape"));
                         }
-                        _ => return Err(self.err("unknown escape")),
                     }
+                }
+                // Control characters must be escaped per RFC 8259.
+                _ if b < 0x20 => {
+                    self.pos -= 1;
+                    return Err(self.err("raw control character in string"));
                 }
                 // Multi-byte UTF-8: copy the raw byte run through.
                 _ => {
                     let start = self.pos - 1;
                     while let Some(nb) = self.peek() {
-                        if nb == b'"' || nb == b'\\' {
+                        if nb == b'"' || nb == b'\\' || nb < 0x20 {
                             break;
                         }
                         self.pos += 1;
@@ -284,6 +279,45 @@ impl<'a> Parser<'a> {
                 }
             }
         }
+    }
+
+    /// Four hex digits following `\u`, as a code unit.
+    fn hex4(&mut self) -> Result<u32, JsonError> {
+        if self.pos + 4 > self.bytes.len() {
+            return Err(self.err("truncated \\u escape"));
+        }
+        let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+            .map_err(|_| self.err("non-ascii \\u escape"))?;
+        let code = u32::from_str_radix(hex, 16).map_err(|_| self.err("bad \\u escape"))?;
+        self.pos += 4;
+        Ok(code)
+    }
+
+    /// The body of a `\u` escape, including UTF-16 surrogate pairs
+    /// (`\ud83d\ude00` parses to U+1F600), which writers that escape
+    /// non-ASCII output routinely emit. Lone surrogates are rejected.
+    fn unicode_escape(&mut self) -> Result<char, JsonError> {
+        let code = self.hex4()?;
+        if (0xDC00..=0xDFFF).contains(&code) {
+            return Err(self.err("lone low surrogate in \\u escape"));
+        }
+        if (0xD800..=0xDBFF).contains(&code) {
+            if self.peek() != Some(b'\\') {
+                return Err(self.err("unpaired high surrogate in \\u escape"));
+            }
+            self.pos += 1;
+            if self.peek() != Some(b'u') {
+                return Err(self.err("unpaired high surrogate in \\u escape"));
+            }
+            self.pos += 1;
+            let low = self.hex4()?;
+            if !(0xDC00..=0xDFFF).contains(&low) {
+                return Err(self.err("invalid low surrogate in \\u escape"));
+            }
+            let combined = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+            return Ok(char::from_u32(combined).expect("combined surrogates are scalar"));
+        }
+        Ok(char::from_u32(code).expect("non-surrogate BMP code is scalar"))
     }
 
     fn array(&mut self) -> Result<Json, JsonError> {
@@ -372,5 +406,68 @@ mod tests {
     fn parses_unicode_escapes() {
         let v = Json::parse("\"a\\u00e9b\"").unwrap();
         assert_eq!(v, Json::Str("aéb".into()));
+    }
+
+    #[test]
+    fn parses_surrogate_pairs() {
+        // U+1F600 as the UTF-16 pair other JSON writers emit.
+        let v = Json::parse("\"\\ud83d\\ude00\"").unwrap();
+        assert_eq!(v, Json::Str("\u{1F600}".into()));
+        // Pair in the middle of surrounding text.
+        let v = Json::parse("\"a\\ud83d\\ude00b\"").unwrap();
+        assert_eq!(v, Json::Str("a\u{1F600}b".into()));
+    }
+
+    #[test]
+    fn rejects_lone_surrogates() {
+        for bad in [
+            "\"\\ud83d\"",        // high surrogate, then string ends
+            "\"\\ud83d x\"",      // high surrogate, no \u follows
+            "\"\\ud83d\\n\"",     // high surrogate, wrong escape follows
+            "\"\\ud83d\\u0041\"", // high surrogate, non-surrogate follows
+            "\"\\ude00\"",        // low surrogate alone
+        ] {
+            assert!(Json::parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn rejects_raw_control_characters_with_offset() {
+        // A raw newline inside a string must be escaped (RFC 8259).
+        let err = Json::parse("\"ab\ncd\"").unwrap_err();
+        assert_eq!(err.offset, 3, "{err}");
+        assert!(err.message.contains("control character"), "{err}");
+        // Also when the control byte follows a multi-byte run.
+        assert!(Json::parse("\"π\u{7}x\"").is_err());
+        // Escaped forms of the same characters are fine.
+        assert_eq!(
+            Json::parse("\"ab\\ncd\\u0007\"").unwrap(),
+            Json::Str("ab\ncd\u{7}".into())
+        );
+    }
+
+    #[test]
+    fn control_characters_roundtrip_through_writer() {
+        let v = Json::Str("bell\u{7} vt\u{b} nl\n".into());
+        let text = v.render();
+        assert!(text.contains("\\u0007") && text.contains("\\u000b"));
+        assert_eq!(Json::parse(&text).unwrap(), v);
+    }
+
+    #[test]
+    fn error_offsets_are_exact() {
+        // Non-integer number: the offset pins the '.' itself.
+        let err = Json::parse("{\"a\": 1.5}").unwrap_err();
+        assert_eq!(err.offset, 7, "{err}");
+        assert!(err.message.contains("unsigned integers"), "{err}");
+        // Bad escape: offset is just past the backslash.
+        let err = Json::parse("\"\\q\"").unwrap_err();
+        assert_eq!(err.offset, 2, "{err}");
+        // Truncated object: offset is end-of-input.
+        let err = Json::parse("{\"a\": 1").unwrap_err();
+        assert_eq!(err.offset, 7, "{err}");
+        // Truncated \u escape.
+        let err = Json::parse("\"\\u00").unwrap_err();
+        assert_eq!(err.offset, 3, "{err}");
     }
 }

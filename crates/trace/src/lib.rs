@@ -1,0 +1,223 @@
+//! `pwdb-trace`: zero-dependency span tracing for the BLU/HLU engine.
+//!
+//! The paper defines HLU purely by translation into BLU (§3.1–3.2) and
+//! gives each BLU-C primitive an explicit algorithm with a complexity
+//! bound (Algorithms 2.3.3 / 2.3.5 / 2.3.8). That makes every HLU
+//! statement's execution a concrete tree — translation nodes over
+//! primitive invocations over logic-layer work — and this crate records
+//! that tree as *spans*:
+//!
+//! * [`span`] / [`span!`] open a named span on a **thread-local stack**;
+//!   the returned [`SpanGuard`] closes it on drop, so lexical scope is
+//!   span scope and nesting falls out of the call structure.
+//! * Spans carry **structured attributes** ([`SpanGuard::attr`]) with
+//!   `&'static str` keys and u64/string values — clause counts, the
+//!   theorem's dominant cost term, strategy names.
+//! * Completed spans land in a bounded per-thread **ring buffer**
+//!   (drop-oldest; eviction preserves ancestor closure because parents
+//!   complete after their children). [`take`] drains it as a [`Trace`].
+//! * [`capture`] runs a closure with recording force-enabled on a fresh
+//!   ring and returns exactly the spans it produced — the engine behind
+//!   `EXPLAIN`.
+//! * [`Trace::render_tree`] renders an indented tree;
+//!   [`export_chrome`] emits Chrome trace-event JSON (reusing
+//!   [`pwdb_metrics::json::Json`]) loadable in `chrome://tracing`.
+//!
+//! # Feature-gated no-op mode
+//!
+//! With the `enabled` feature off (build the workspace with
+//! `--no-default-features`) the whole API collapses to inlined no-ops
+//! and [`SpanGuard`] is a zero-sized type, mirroring `pwdb-metrics`:
+//! instrumented call sites compile out entirely. Even in an enabled
+//! build, recording is **off by default** per thread — call sites pay a
+//! single thread-local flag check until [`set_enabled`] turns tracing
+//! on or [`capture`] scopes it around one call.
+
+mod record;
+
+pub use record::{export_chrome, AttrValue, SpanRecord, Trace};
+
+#[cfg(feature = "enabled")]
+mod real;
+#[cfg(feature = "enabled")]
+pub use real::{
+    capture, is_enabled, set_capacity, set_enabled, span, take, SpanGuard, DEFAULT_CAPACITY,
+};
+
+#[cfg(not(feature = "enabled"))]
+mod noop;
+#[cfg(not(feature = "enabled"))]
+pub use noop::{
+    capture, is_enabled, set_capacity, set_enabled, span, take, SpanGuard, DEFAULT_CAPACITY,
+};
+
+/// Opens a span for the enclosing scope, optionally attaching initial
+/// attributes:
+///
+/// ```
+/// # use pwdb_trace::span;
+/// let _sp = pwdb_trace::span!("blu.clausal.assert");
+/// let _sp2 = pwdb_trace::span!("blu.clausal.combine", "in_left" => 3u64, "in_right" => 4u64);
+/// ```
+///
+/// Unlike the metrics macros this one has a single definition for both
+/// modes: [`span`] and [`SpanGuard::attr`] exist (with identical
+/// signatures) in the enabled and no-op builds, so the expansion
+/// monomorphizes to nothing when tracing is compiled out.
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::span($name)
+    };
+    ($name:expr, $($key:expr => $value:expr),+ $(,)?) => {{
+        let __pwdb_span = $crate::span($name);
+        $(__pwdb_span.attr($key, $value);)+
+        __pwdb_span
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Serializes tests that flip the thread-local enabled flag. Each
+    /// test runs on its own thread anyway under `cargo test`, but keep
+    /// ordering deterministic within one thread too.
+    fn with_recording<R>(f: impl FnOnce() -> R) -> (R, Trace) {
+        let _ = take(); // discard anything a prior test on this thread left
+        capture(f)
+    }
+
+    #[cfg(feature = "enabled")]
+    #[test]
+    fn spans_nest_lexically() {
+        let (_, trace) = with_recording(|| {
+            let _a = span!("outer");
+            {
+                let _b = span!("inner.first");
+            }
+            let _c = span!("inner.second");
+        });
+        assert_eq!(
+            trace.names_pre_order(),
+            vec!["outer", "inner.first", "inner.second"]
+        );
+        let pre = trace.pre_order();
+        assert_eq!(pre[1].parent, Some(pre[0].id));
+        assert_eq!(pre[2].parent, Some(pre[0].id));
+        assert!(pre[0].dur_ns >= pre[1].dur_ns);
+    }
+
+    #[cfg(feature = "enabled")]
+    #[test]
+    fn attributes_attach_to_the_right_span() {
+        let (_, trace) = with_recording(|| {
+            let sp = span!("op", "in" => 5u64);
+            assert!(sp.is_recording());
+            {
+                let inner = span!("child");
+                inner.attr("mode", "fast");
+            }
+            sp.attr("out", 7u64);
+        });
+        let pre = trace.pre_order();
+        assert_eq!(pre[0].attr_u64("in"), Some(5));
+        assert_eq!(pre[0].attr_u64("out"), Some(7));
+        assert_eq!(pre[1].attrs, vec![("mode", AttrValue::Str("fast".into()))]);
+    }
+
+    #[cfg(feature = "enabled")]
+    #[test]
+    fn disabled_thread_records_nothing() {
+        let _ = take();
+        assert!(!is_enabled());
+        {
+            let sp = span!("ghost");
+            assert!(!sp.is_recording());
+            sp.attr("x", 1u64);
+        }
+        assert!(take().is_empty());
+    }
+
+    #[cfg(feature = "enabled")]
+    #[test]
+    fn ring_buffer_bounds_memory_and_counts_drops() {
+        set_capacity(8);
+        let (_, trace) = with_recording(|| {
+            for _ in 0..20 {
+                let _sp = span!("tick");
+            }
+        });
+        set_capacity(DEFAULT_CAPACITY);
+        assert_eq!(trace.spans.len(), 8);
+        assert_eq!(trace.dropped, 12);
+        let text = trace.render_tree();
+        assert!(text.contains("12 span(s) dropped"), "{text}");
+    }
+
+    #[cfg(feature = "enabled")]
+    #[test]
+    fn capture_restores_ambient_ring_and_flag() {
+        let _ = take();
+        set_enabled(true);
+        {
+            let _sp = span!("ambient.before");
+        }
+        let ((), inner) = capture(|| {
+            let _sp = span!("captured");
+        });
+        assert_eq!(inner.names_pre_order(), vec!["captured"]);
+        assert!(is_enabled(), "capture must restore the enabled flag");
+        {
+            let _sp = span!("ambient.after");
+        }
+        set_enabled(false);
+        let ambient = take();
+        assert_eq!(
+            ambient.names_pre_order(),
+            vec!["ambient.before", "ambient.after"],
+            "EXPLAIN must not steal the ambient session's spans"
+        );
+    }
+
+    #[cfg(feature = "enabled")]
+    #[test]
+    fn capture_returns_the_closure_result() {
+        let (n, trace) = with_recording(|| {
+            let _sp = span!("work");
+            41 + 1
+        });
+        assert_eq!(n, 42);
+        assert_eq!(trace.spans.len(), 1);
+    }
+
+    #[cfg(feature = "enabled")]
+    #[test]
+    fn timestamps_are_monotone_and_nested() {
+        let (_, trace) = with_recording(|| {
+            let _a = span!("parent");
+            let _b = span!("child");
+        });
+        let pre = trace.pre_order();
+        let (parent, child) = (pre[0], pre[1]);
+        assert!(child.start_ns >= parent.start_ns);
+        assert!(child.start_ns + child.dur_ns <= parent.start_ns + parent.dur_ns);
+    }
+
+    #[cfg(not(feature = "enabled"))]
+    #[test]
+    fn noop_mode_observes_nothing_and_is_zero_sized() {
+        set_enabled(true);
+        assert!(!is_enabled());
+        {
+            let sp = span!("ghost", "k" => 1u64);
+            assert!(!sp.is_recording());
+            sp.attr("x", "y");
+        }
+        assert!(take().is_empty());
+        let (n, trace) = capture(|| 7);
+        assert_eq!(n, 7);
+        assert!(trace.is_empty());
+        assert_eq!(std::mem::size_of::<SpanGuard>(), 0);
+    }
+}

@@ -1,0 +1,56 @@
+//! No-op mirror of the tracer API, selected when the `enabled` feature
+//! is off. Every function inlines to nothing and every type is
+//! zero-sized, so instrumented call sites compile out entirely.
+
+use crate::record::{AttrValue, Trace};
+
+/// Default ring-buffer capacity (unused in no-op mode).
+pub const DEFAULT_CAPACITY: usize = 4096;
+
+/// No-op: recording cannot be enabled in this build.
+#[inline(always)]
+pub fn set_enabled(_on: bool) {}
+
+/// Always `false` in a no-op build.
+#[inline(always)]
+pub fn is_enabled() -> bool {
+    false
+}
+
+/// No-op: there is no ring buffer in this build.
+#[inline(always)]
+pub fn set_capacity(_capacity: usize) {}
+
+/// Always returns an empty [`Trace`].
+#[inline(always)]
+pub fn take() -> Trace {
+    Trace::default()
+}
+
+/// Runs `f` and returns its result with an empty [`Trace`].
+#[inline(always)]
+pub fn capture<R>(f: impl FnOnce() -> R) -> (R, Trace) {
+    (f(), Trace::default())
+}
+
+/// Returns an inert zero-sized guard.
+#[inline(always)]
+pub fn span(_name: &'static str) -> SpanGuard {
+    SpanGuard
+}
+
+/// Zero-sized stand-in for the enabled build's RAII span guard.
+#[must_use = "dropping the guard ends the span immediately"]
+pub struct SpanGuard;
+
+impl SpanGuard {
+    /// Always `false`: nothing records in a no-op build.
+    #[inline(always)]
+    pub fn is_recording(&self) -> bool {
+        false
+    }
+
+    /// No-op.
+    #[inline(always)]
+    pub fn attr(&self, _key: &'static str, _value: impl Into<AttrValue>) {}
+}

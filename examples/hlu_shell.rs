@@ -10,9 +10,13 @@
 //! ```text
 //! (insert {...}) / (delete {...}) / (assert {...}) / (modify {..} {..})
 //! (clear [a b]) / (where {...} (..) (..))      any HLU program
+//! EXPLAIN <program>     run the program and print its execution trace
 //! ?certain <wff>        is the wff true in every possible world?
 //! ?possible <wff>       in some world?
 //! ?count                number of possible worlds
+//! :explain <program>    same as EXPLAIN
+//! :trace on|off         print a span tree after every command
+//! :metrics              metric deltas since the previous :metrics
 //! :state                print the clause-set state
 //! :atoms                print the interned vocabulary
 //! :quit
@@ -21,6 +25,7 @@
 use std::io::{BufRead, IsTerminal, Write};
 
 use pwdb::prelude::*;
+use pwdb_metrics::MetricsSnapshot;
 
 fn main() {
     let stdin = std::io::stdin();
@@ -28,6 +33,7 @@ fn main() {
 
     let mut atoms = AtomTable::new();
     let mut db = ClausalDatabase::new();
+    let mut shell = Shell::new();
 
     let demo = [
         "(insert {rain | snow})",
@@ -38,6 +44,8 @@ fn main() {
         "?count",
         "(where {snow} (insert {plows}))",
         "?certain snow -> plows",
+        "EXPLAIN (modify {snow} {sleet})",
+        ":metrics",
         ":state",
     ];
 
@@ -67,10 +75,17 @@ fn main() {
         if !interactive {
             println!("pwdb> {line}");
         }
-        match execute(&line, &mut db, &mut atoms) {
+        match execute(&line, &mut db, &mut atoms, &mut shell) {
             Ok(Reply::Quit) => break,
             Ok(Reply::Text(t)) => println!("{t}"),
             Err(e) => println!("error: {e}"),
+        }
+        // With `:trace on`, show the spans each command produced.
+        if shell.trace_on {
+            let trace = pwdb_trace::take();
+            if !trace.is_empty() {
+                print!("{}", trace.render_tree());
+            }
         }
     }
 }
@@ -80,7 +95,29 @@ enum Reply {
     Quit,
 }
 
-fn execute(line: &str, db: &mut ClausalDatabase, atoms: &mut AtomTable) -> Result<Reply, String> {
+/// Shell-session state beyond the database itself.
+struct Shell {
+    /// Snapshot at the previous `:metrics` call (deltas are printed).
+    last_metrics: MetricsSnapshot,
+    /// Whether to print a span tree after every command.
+    trace_on: bool,
+}
+
+impl Shell {
+    fn new() -> Self {
+        Shell {
+            last_metrics: pwdb_metrics::snapshot(),
+            trace_on: false,
+        }
+    }
+}
+
+fn execute(
+    line: &str,
+    db: &mut ClausalDatabase,
+    atoms: &mut AtomTable,
+    shell: &mut Shell,
+) -> Result<Reply, String> {
     if line == ":quit" || line == ":q" {
         return Ok(Reply::Quit);
     }
@@ -95,6 +132,33 @@ fn execute(line: &str, db: &mut ClausalDatabase, atoms: &mut AtomTable) -> Resul
     if line == ":atoms" {
         let names: Vec<&str> = atoms.iter().map(|(_, n)| n).collect();
         return Ok(Reply::Text(format!("{names:?}")));
+    }
+    if line == ":metrics" {
+        let now = pwdb_metrics::snapshot();
+        let delta = now.delta(&shell.last_metrics);
+        shell.last_metrics = now;
+        return Ok(Reply::Text(render_metrics(&delta)));
+    }
+    if let Some(arg) = line.strip_prefix(":trace") {
+        match arg.trim() {
+            "on" => {
+                pwdb_trace::set_enabled(true);
+                let on = pwdb_trace::is_enabled();
+                shell.trace_on = on;
+                return Ok(Reply::Text(if on {
+                    "tracing on".to_owned()
+                } else {
+                    "tracing unavailable (built without the `trace` feature)".to_owned()
+                }));
+            }
+            "off" => {
+                shell.trace_on = false;
+                pwdb_trace::set_enabled(false);
+                let _ = pwdb_trace::take(); // discard unprinted spans
+                return Ok(Reply::Text("tracing off".to_owned()));
+            }
+            other => return Err(format!("usage: :trace on|off (got '{other}')")),
+        }
     }
     if let Some(q) = line.strip_prefix("?certain ") {
         let w = parse_wff(q, atoms).map_err(|e| e.to_string())?;
@@ -111,13 +175,51 @@ fn execute(line: &str, db: &mut ClausalDatabase, atoms: &mut AtomTable) -> Resul
             atoms.len()
         )));
     }
-    if line.starts_with('(') {
-        let prog = parse_hlu(line, atoms).map_err(|e| e.to_string())?;
-        db.run(&prog);
-        return Ok(Reply::Text(format!(
-            "ok ({} update(s) run)",
-            db.updates_run()
-        )));
+    if let Some(rest) = line.strip_prefix(":explain ") {
+        let prog = parse_hlu(rest, atoms).map_err(|e| e.to_string())?;
+        return Ok(Reply::Text(db.explain(&prog).render()));
+    }
+    let is_explain = line.len() >= 7 && line.as_bytes()[..7].eq_ignore_ascii_case(b"explain");
+    if line.starts_with('(') || is_explain {
+        match parse_hlu_statement(line, atoms).map_err(|e| e.to_string())? {
+            HluStatement::Explain(prog) => {
+                return Ok(Reply::Text(db.explain(&prog).render()));
+            }
+            HluStatement::Run(prog) => {
+                db.run(&prog);
+                return Ok(Reply::Text(format!(
+                    "ok ({} update(s) run)",
+                    db.updates_run()
+                )));
+            }
+        }
     }
     Err(format!("unrecognized command: {line}"))
+}
+
+/// Renders a metrics delta: non-zero counters, then timers with call
+/// counts and total wall time.
+fn render_metrics(delta: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    let counters: Vec<_> = delta.counters.iter().filter(|(_, &v)| v > 0).collect();
+    let timers: Vec<_> = delta.timers.iter().filter(|(_, t)| t.count > 0).collect();
+    if counters.is_empty() && timers.is_empty() {
+        return "(no metric activity since the last :metrics)".to_owned();
+    }
+    out.push_str("counters since last :metrics\n");
+    for (name, v) in counters {
+        out.push_str(&format!("  {name:<40} {v}\n"));
+    }
+    if !timers.is_empty() {
+        out.push_str("timers\n");
+        for (name, t) in timers {
+            out.push_str(&format!(
+                "  {name:<40} {} call(s), {:.3} ms total\n",
+                t.count,
+                t.total_ns as f64 / 1e6
+            ));
+        }
+    }
+    out.pop(); // trailing newline
+    out
 }

@@ -1,0 +1,135 @@
+//! End-to-end tracing: `EXPLAIN`ing an HLU statement must produce a span
+//! tree whose shape matches the paper's translation semantics (§3.2,
+//! Definitions 3.2.3/3.2.4), and the same statements must compile and run
+//! with the tracer compiled out (`--no-default-features`).
+//!
+//! Unlike `metrics_observability.rs`, these tests need no delta
+//! gymnastics: the span ring is thread-local, so parallel tests cannot
+//! see each other's spans.
+
+use pwdb::prelude::*;
+
+fn explained(src: &str, setup: &[&str]) -> Explanation {
+    let mut atoms = AtomTable::new();
+    let mut db = ClausalDatabase::new();
+    for s in setup {
+        let p = parse_hlu(s, &mut atoms).expect("setup parses");
+        db.run(&p);
+    }
+    let stmt = parse_hlu_statement(src, &mut atoms).expect("statement parses");
+    let HluStatement::Explain(prog) = stmt else {
+        panic!("expected an EXPLAIN statement");
+    };
+    db.explain(&prog)
+}
+
+#[cfg(feature = "trace")]
+mod with_tracer {
+    use super::*;
+
+    /// The `blu.clausal.*` leaf spans in pre-order — the primitive
+    /// execution sequence, in the order the BLU program ran them.
+    fn clausal_ops(e: &Explanation) -> Vec<&'static str> {
+        e.trace
+            .names_pre_order()
+            .into_iter()
+            .filter(|n| n.starts_with("blu.clausal.") && *n != "blu.clausal.mask.step")
+            .collect()
+    }
+
+    #[test]
+    fn explained_insert_follows_the_mask_assert_paradigm() {
+        let e = explained("EXPLAIN (insert {a | b})", &["(insert {c})"]);
+        assert!(!e.trace.is_empty());
+
+        // The statement span is the root; the translation (compile) and
+        // the BLU evaluation both run beneath it.
+        let names = e.trace.names_pre_order();
+        assert_eq!(names[0], "hlu.stmt.insert");
+        assert!(names.contains(&"hlu.compile"));
+        assert!(names.contains(&"hlu.compile.insert"));
+        assert!(names.contains(&"blu.eval.assert"));
+
+        // Definition 3.2.3: insert = mask–assert — first derive the mask
+        // (genmask), apply it (mask), then assert the new information.
+        assert_eq!(
+            clausal_ops(&e),
+            vec![
+                "blu.clausal.genmask",
+                "blu.clausal.mask",
+                "blu.clausal.assert"
+            ],
+        );
+    }
+
+    #[test]
+    fn explained_modify_splits_with_combine() {
+        let e = explained("EXPLAIN (modify {a} {b})", &["(insert {a})"]);
+        let names = e.trace.names_pre_order();
+        assert_eq!(names[0], "hlu.stmt.modify");
+        assert!(names.contains(&"hlu.compile.modify"));
+
+        // Definition 3.2.4: modify is a where-style split whose branches
+        // recombine — `combine` must appear, and both branches mask.
+        let ops = clausal_ops(&e);
+        let count = |op: &str| ops.iter().filter(|n| **n == op).count();
+        assert!(count("blu.clausal.combine") >= 1, "ops: {ops:?}");
+        assert!(count("blu.clausal.genmask") >= 1, "ops: {ops:?}");
+        assert!(count("blu.clausal.mask") >= 1, "ops: {ops:?}");
+    }
+
+    #[test]
+    fn spans_carry_cost_attributes() {
+        let e = explained("EXPLAIN (insert {a | b})", &["(insert {c})"]);
+        // Every clausal primitive span records the theorem's dominant
+        // cost term (Theorems 2.3.4(b)/2.3.6(b)/2.3.9(b)) as `cost`.
+        let costed: Vec<_> = e
+            .trace
+            .spans
+            .iter()
+            .filter(|s| s.name.starts_with("blu.clausal.") && s.name != "blu.clausal.mask.step")
+            .collect();
+        assert!(!costed.is_empty());
+        for s in &costed {
+            assert!(s.attr_u64("cost").is_some(), "span {} has no cost", s.name);
+        }
+    }
+
+    #[test]
+    fn explain_leaves_ambient_tracing_untouched() {
+        pwdb_trace::set_enabled(false);
+        let _ = pwdb_trace::take();
+        let e = explained("EXPLAIN (insert {a})", &[]);
+        assert!(!e.trace.is_empty(), "EXPLAIN must trace even when off");
+        // …but the ambient (disabled) ring must stay empty.
+        assert!(pwdb_trace::take().is_empty());
+        assert!(!pwdb_trace::is_enabled());
+    }
+
+    #[test]
+    fn rendered_explanation_shows_statement_and_tree() {
+        let e = explained("EXPLAIN (insert {a | b})", &[]);
+        let text = e.render();
+        assert!(text.contains("statement: (insert {A1 | A2})"), "{text}");
+        assert!(text.contains("compiled:"), "{text}");
+        assert!(text.contains("hlu.stmt.insert"), "{text}");
+        assert!(text.contains("blu.clausal.assert"), "{text}");
+    }
+}
+
+/// With `--no-default-features` the tracer is compiled out: the same
+/// EXPLAIN statement must still parse, run, and render — just without
+/// spans.
+#[cfg(not(feature = "trace"))]
+mod without_tracer {
+    use super::*;
+
+    #[test]
+    fn explain_still_runs_with_tracer_compiled_out() {
+        let e = explained("EXPLAIN (insert {a | b})", &[]);
+        assert!(e.trace.is_empty());
+        let text = e.render();
+        assert!(text.contains("statement: (insert {A1 | A2})"), "{text}");
+        assert!(text.contains("(empty trace)"), "{text}");
+    }
+}
