@@ -11,7 +11,10 @@
 //! - a `traceEvents` document (from `report_trace`) must hold a non-empty
 //!   array whose every event carries `name`, `ph`, `ts`, and `dur`;
 //! - an `experiments`/`totals` document (from `report_metrics`) must have
-//!   every section decode back into a `MetricsSnapshot`.
+//!   every section decode back into a `MetricsSnapshot`;
+//! - an `index_comparison` document (from `report_index`) must have a
+//!   `naive` and an `indexed` snapshot per section, and a `summary` whose
+//!   every counter carries both engine totals.
 //!
 //! Exits non-zero with the byte offset on the first failure, so CI can
 //! gate on it.
@@ -45,6 +48,42 @@ fn validate(path: &str) -> Result<String, String> {
         return Ok(format!("{} trace event(s)", events.len()));
     }
 
+    if let Some(comparison) = doc.get("index_comparison") {
+        let Json::Obj(sections) = comparison else {
+            return Err("index_comparison is not an object".to_owned());
+        };
+        if sections.is_empty() {
+            return Err("index_comparison is empty".to_owned());
+        }
+        for (name, section) in sections {
+            for side in ["naive", "indexed"] {
+                let snap = section
+                    .get(side)
+                    .ok_or_else(|| format!("section '{name}' is missing '{side}'"))?;
+                MetricsSnapshot::from_json_value(snap)
+                    .map_err(|e| format!("section '{name}' side '{side}': {e}"))?;
+            }
+        }
+        let summary = doc
+            .get("summary")
+            .ok_or_else(|| "missing 'summary'".to_owned())?;
+        let Json::Obj(counters) = summary else {
+            return Err("summary is not an object".to_owned());
+        };
+        for (name, entry) in counters {
+            for side in ["naive", "indexed"] {
+                if entry.get(side).and_then(Json::as_u64).is_none() {
+                    return Err(format!("summary '{name}' is missing a numeric '{side}'"));
+                }
+            }
+        }
+        return Ok(format!(
+            "{} comparison section(s), {} summary counter(s)",
+            sections.len(),
+            counters.len()
+        ));
+    }
+
     if let Some(experiments) = doc.get("experiments") {
         let Json::Obj(sections) = experiments else {
             return Err("experiments is not an object".to_owned());
@@ -64,7 +103,7 @@ fn validate(path: &str) -> Result<String, String> {
         ));
     }
 
-    Err("unrecognized document (neither traceEvents nor experiments)".to_owned())
+    Err("unrecognized document (no traceEvents, index_comparison, or experiments)".to_owned())
 }
 
 fn main() -> ExitCode {

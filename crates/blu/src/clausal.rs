@@ -19,13 +19,33 @@
 //! | `genmask`   | Θ(2^{|Prop|} · L · |Prop|²); NP-complete core |
 
 use std::collections::BTreeSet;
+use std::sync::OnceLock;
 
+use pwdb_logic::cache::MemoCache;
+use pwdb_logic::intern::{set_key, ClauseId};
 use pwdb_logic::resolution::{drop_atoms, rclosure_on_atom};
 use pwdb_logic::{AtomId, Clause, ClauseSet, Literal};
 use pwdb_metrics::{counter, histogram, timer};
 use pwdb_trace::span;
 
 use crate::eval::BluSemantics;
+
+/// The genmask memo: keyed on (strategy, interned id sequence of the
+/// input), since the two strategies decide the same set but the key must
+/// not conflate them while one is being validated against the other.
+/// Pure — genmask is a function of the state — bounded, and bypassed
+/// under the naive engine.
+type GenmaskMemo = MemoCache<(u8, Box<[ClauseId]>), BTreeSet<AtomId>>;
+
+fn genmask_cache() -> &'static GenmaskMemo {
+    static CACHE: OnceLock<&'static GenmaskMemo> = OnceLock::new();
+    CACHE.get_or_init(|| {
+        static INNER: OnceLock<GenmaskMemo> = OnceLock::new();
+        INNER
+            .get_or_init(|| MemoCache::new("blu.cache.genmask", 1024))
+            .register()
+    })
+}
 
 /// Which algorithm `genmask` uses for the (NP-complete) dependence test.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -269,6 +289,9 @@ impl BluSemantics for BluClausal {
             let _t = timer!("blu.assert.wall").start();
             Self::assert_clauses(x, y)
         };
+        // State-mutating primitive: report so the memo caches can enforce
+        // their bounds (keys are pure, so this is memory, not staleness).
+        pwdb_logic::cache::note_state_change();
         histogram!("blu.assert.out_length").record(out.length() as u64);
         sp.attr("out_clauses", out.len());
         out
@@ -287,6 +310,7 @@ impl BluSemantics for BluClausal {
             let _t = timer!("blu.combine.wall").start();
             self.maybe_reduce(Self::combine_clauses(x, y))
         };
+        pwdb_logic::cache::note_state_change();
         histogram!("blu.combine.out_length").record(out.length() as u64);
         sp.attr("out_clauses", out.len());
         out
@@ -342,10 +366,11 @@ impl BluSemantics for BluClausal {
         }
         let out = {
             let _t = timer!("blu.genmask.wall").start();
-            match self.genmask_strategy {
+            let key = (self.genmask_strategy as u8, set_key(x));
+            genmask_cache().get_or_insert_with(key, || match self.genmask_strategy {
                 GenmaskStrategy::PaperExhaustive => Self::genmask_paper(x),
                 GenmaskStrategy::SatBased => Self::genmask_sat(x),
-            }
+            })
         };
         histogram!("blu.genmask.mask_size").record(out.len() as u64);
         sp.attr("mask_size", out.len());

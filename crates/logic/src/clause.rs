@@ -7,6 +7,8 @@
 
 use std::fmt;
 
+use pwdb_metrics::counter;
+
 use crate::atom::{AtomId, AtomTable};
 use crate::literal::Literal;
 use crate::truth::Assignment;
@@ -148,7 +150,12 @@ impl Clause {
     }
 
     /// Whether every literal of `self` occurs in `other` (subsumption).
+    ///
+    /// Every call is counted in `logic.subsumption.comparisons` — the
+    /// op-cost measure the naive-vs-indexed engine comparison
+    /// (`report_index`, `BENCH_index.json`) is keyed on.
     pub fn subsumes(&self, other: &Clause) -> bool {
+        counter!("logic.subsumption.comparisons").inc();
         if self.len() > other.len() {
             return false;
         }

@@ -143,24 +143,31 @@ impl ClauseSet {
     /// Removes clauses subsumed by another member, returning the number
     /// dropped. A model-preserving reduction used by the optimized BLU-C
     /// operations.
+    ///
+    /// Both engines compute the same canonical result — the unique
+    /// subsumption-minimal members (distinct equal-length clauses never
+    /// subsume each other, so "subsumed by another member" is a strict
+    /// order on lengths). The naive engine scans all pairs; the indexed
+    /// engine re-inserts ascending by length through the occurrence
+    /// index, where only forward checks can fire.
     pub fn reduce_subsumed(&mut self) -> usize {
         let sp = pwdb_trace::span!("logic.subsumption.sweep", "clauses_in" => self.clauses.len());
-        let clauses: Vec<Clause> = self.clauses.iter().cloned().collect();
-        let mut dropped = 0;
-        for c in &clauses {
-            if !self.clauses.contains(c) {
-                continue;
+        let dropped = match crate::engine::engine_mode() {
+            crate::engine::EngineMode::Naive => crate::reference::reduce_subsumed(self),
+            crate::engine::EngineMode::Indexed => {
+                let before = self.clauses.len();
+                let mut order: Vec<Clause> = self.clauses.iter().cloned().collect();
+                order.sort_by_key(Clause::len);
+                let mut idx = crate::index::IndexedClauseSet::new();
+                for c in order {
+                    // Raw variant: an existing tautology is a member like
+                    // any other here (removable, but not auto-dropped).
+                    idx.insert_with_subsumption_raw(c);
+                }
+                *self = idx.to_set();
+                before - self.clauses.len()
             }
-            // A clause is removed if some *other* remaining clause subsumes it.
-            let subsumed = self
-                .clauses
-                .iter()
-                .any(|other| other != c && other.subsumes(c));
-            if subsumed {
-                self.clauses.remove(c);
-                dropped += 1;
-            }
-        }
+        };
         sp.attr("dropped", dropped);
         dropped
     }

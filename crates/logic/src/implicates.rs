@@ -15,46 +15,113 @@
 //! is hard); the paper's own `mask` complexity discussion (2.3.6) applies
 //! verbatim.
 
+use std::collections::BTreeSet;
+use std::sync::OnceLock;
+
+use pwdb_metrics::counter;
+use pwdb_trace::span;
+
 use crate::atom::AtomId;
+use crate::cache::MemoCache;
 use crate::clause_set::ClauseSet;
+use crate::engine::{engine_mode, EngineMode};
+use crate::index::{IndexedClauseSet, Slot};
+use crate::intern::{set_key, ClauseId};
+use crate::literal::Literal;
 use crate::resolution::resolvent;
-use crate::subsumption::insert_with_subsumption;
+
+/// The prime-implicate memo: keyed on the interned id sequence of the
+/// input set, so equal sets hit regardless of how they were built. Pure
+/// (the closure is a function of the set), bounded, bypassed under the
+/// naive engine.
+fn pi_cache() -> &'static MemoCache<Box<[ClauseId]>, ClauseSet> {
+    static CACHE: OnceLock<&'static MemoCache<Box<[ClauseId]>, ClauseSet>> = OnceLock::new();
+    CACHE.get_or_init(|| {
+        static INNER: OnceLock<MemoCache<Box<[ClauseId]>, ClauseSet>> = OnceLock::new();
+        INNER
+            .get_or_init(|| MemoCache::new("logic.cache.prime_implicates", 512))
+            .register()
+    })
+}
 
 /// Computes the set of prime implicates of `set`.
 ///
 /// For an unsatisfiable input the result is `{□}`; for a tautologous
 /// input (no models excluded) the result is empty.
+///
+/// Tison's fixpoint is canonical (the subsumption-minimal one-atom
+/// closures are unique), so the naive engine
+/// ([`crate::reference::prime_implicates`]) and the indexed worklist
+/// below return bit-identical sets; the indexed engine additionally
+/// memoizes whole closures on the interned key of the input.
 pub fn prime_implicates(set: &ClauseSet) -> ClauseSet {
-    let mut current = ClauseSet::new();
+    let sp = span!("logic.implicates.prime", "clauses_in" => set.len());
+    let out = match engine_mode() {
+        EngineMode::Naive => crate::reference::prime_implicates(set),
+        EngineMode::Indexed => {
+            pi_cache().get_or_insert_with(set_key(set), || prime_implicates_indexed(set))
+        }
+    };
+    sp.attr("clauses_out", out.len());
+    out
+}
+
+/// Tison's method on the literal-occurrence index: per atom, a worklist
+/// over the clauses that mention it, resolving each against the
+/// occurrence list of the complementary literal only. Resolvents on an
+/// atom never mention that atom again (tautologies are dropped on
+/// insert), so one pass per atom closes it.
+fn prime_implicates_indexed(set: &ClauseSet) -> ClauseSet {
+    let mut idx = IndexedClauseSet::new();
     for c in set.iter() {
-        insert_with_subsumption(&mut current, c.clone());
+        idx.insert_with_subsumption(c.clone());
     }
-    let atoms: Vec<AtomId> = current.props().into_iter().collect();
+    let atoms: BTreeSet<AtomId> = idx
+        .iter()
+        .flat_map(|c| c.atoms().collect::<Vec<_>>())
+        .collect();
     for &atom in &atoms {
-        // Close under resolution on `atom`, with subsumption, to a
-        // fixpoint (new resolvents may resolve again on the same atom
-        // only via clauses that contain it, which subsumption keeps
-        // tracked).
-        loop {
-            let snapshot: Vec<_> = current.iter().cloned().collect();
-            let mut added = false;
-            for (i, c1) in snapshot.iter().enumerate() {
-                for c2 in &snapshot[..i] {
-                    for (a, b) in [(c1, c2), (c2, c1)] {
-                        if let Some(r) = resolvent(a, b, atom) {
-                            if !r.is_tautology() && insert_with_subsumption(&mut current, r) {
-                                added = true;
+        let pos = Literal::pos(atom);
+        let neg = Literal::neg(atom);
+        let mut queue: Vec<Slot> = idx.partners(pos);
+        queue.extend(idx.partners(neg));
+        while let Some(slot) = queue.pop() {
+            let Some(c) = idx.clause(slot).cloned() else {
+                continue;
+            };
+            if c.contains(pos) {
+                for pslot in idx.partners(neg) {
+                    let Some(d) = idx.clause(pslot).cloned() else {
+                        continue;
+                    };
+                    counter!("logic.resolution.pairs_tried").inc();
+                    if let Some(r) = resolvent(&c, &d, atom) {
+                        if !r.is_tautology() && idx.insert_with_subsumption(r.clone()) {
+                            if let Some(s) = idx.slot_of(&r) {
+                                queue.push(s);
                             }
                         }
                     }
                 }
             }
-            if !added {
-                break;
+            if c.contains(neg) {
+                for pslot in idx.partners(pos) {
+                    let Some(d) = idx.clause(pslot).cloned() else {
+                        continue;
+                    };
+                    counter!("logic.resolution.pairs_tried").inc();
+                    if let Some(r) = resolvent(&d, &c, atom) {
+                        if !r.is_tautology() && idx.insert_with_subsumption(r.clone()) {
+                            if let Some(s) = idx.slot_of(&r) {
+                                queue.push(s);
+                            }
+                        }
+                    }
+                }
             }
         }
     }
-    current
+    idx.to_set()
 }
 
 /// Whether `clause` is an implicate of `set` (by refutation with the

@@ -1,0 +1,96 @@
+//! Clause interning: a process-wide hash-consed arena of clauses.
+//!
+//! Memoized derived structures (genmask results, prime-implicate
+//! closures, `Inset[Φ]`) are repeat-heavy: the same clause sets reappear
+//! across updates and queries. Interning maps each distinct clause to a
+//! dense [`ClauseId`] once, so cache keys compare and hash in O(1) per
+//! clause instead of re-hashing literal slices, and a whole
+//! [`ClauseSet`] keys as its canonical id sequence ([`set_key`]).
+//!
+//! The arena only grows (ids stay valid for the process lifetime), which
+//! is what makes the ids safe as cache keys; the memo caches themselves
+//! are bounded and evicted separately (see [`crate::cache`]).
+
+use std::collections::HashMap;
+use std::sync::{Mutex, OnceLock};
+
+use pwdb_metrics::counter;
+
+use crate::clause::Clause;
+use crate::clause_set::ClauseSet;
+
+/// A dense identifier for an interned clause. Equal ids ⇔ equal clauses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ClauseId(pub u32);
+
+#[derive(Default)]
+struct Interner {
+    map: HashMap<Clause, u32>,
+    arena: Vec<Clause>,
+}
+
+fn interner() -> &'static Mutex<Interner> {
+    static INTERNER: OnceLock<Mutex<Interner>> = OnceLock::new();
+    INTERNER.get_or_init(|| Mutex::new(Interner::default()))
+}
+
+/// Interns `clause`, returning its stable id.
+pub fn intern(clause: &Clause) -> ClauseId {
+    let mut inner = interner().lock().unwrap_or_else(|e| e.into_inner());
+    if let Some(&id) = inner.map.get(clause) {
+        counter!("logic.intern.hits").inc();
+        return ClauseId(id);
+    }
+    counter!("logic.intern.clauses").inc();
+    let id = u32::try_from(inner.arena.len()).expect("clause arena overflow");
+    inner.arena.push(clause.clone());
+    inner.map.insert(clause.clone(), id);
+    ClauseId(id)
+}
+
+/// The clause an id was interned for. Panics on an id not produced by
+/// [`intern`] in this process.
+pub fn resolve(id: ClauseId) -> Clause {
+    let inner = interner().lock().unwrap_or_else(|e| e.into_inner());
+    inner.arena[id.0 as usize].clone()
+}
+
+/// Number of distinct clauses interned so far.
+pub fn interned_count() -> usize {
+    let inner = interner().lock().unwrap_or_else(|e| e.into_inner());
+    inner.arena.len()
+}
+
+/// The canonical cache key of a clause set: the ids of its members in the
+/// set's canonical iteration order. Equal keys ⇔ equal sets.
+pub fn set_key(set: &ClauseSet) -> Box<[ClauseId]> {
+    set.iter().map(intern).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atom::AtomId;
+    use crate::literal::Literal;
+
+    #[test]
+    fn interning_is_idempotent_and_resolvable() {
+        let c = Clause::new(vec![Literal::pos(AtomId(0)), Literal::neg(AtomId(1))]);
+        let a = intern(&c);
+        let b = intern(&c);
+        assert_eq!(a, b);
+        assert_eq!(resolve(a), c);
+        let d = intern(&Clause::empty());
+        assert_ne!(a, d);
+    }
+
+    #[test]
+    fn set_keys_are_canonical() {
+        let c1 = Clause::unit(Literal::pos(AtomId(0)));
+        let c2 = Clause::unit(Literal::neg(AtomId(1)));
+        let a = ClauseSet::from_clauses([c1.clone(), c2.clone()]);
+        let b = ClauseSet::from_clauses([c2, c1]);
+        assert_eq!(set_key(&a), set_key(&b));
+        assert!(interned_count() >= 2);
+    }
+}

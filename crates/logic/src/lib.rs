@@ -33,15 +33,20 @@
 //!   dependence test is NP-complete, Theorem 2.3.9(c)).
 
 pub mod atom;
+pub mod cache;
 pub mod clause;
 pub mod clause_set;
 pub mod cnf;
 pub mod counting;
 pub mod dpll;
+pub mod engine;
 pub mod error;
 pub mod implicates;
+pub mod index;
+pub mod intern;
 pub mod literal;
 pub mod parser;
+pub mod reference;
 pub mod resolution;
 pub mod rng;
 pub mod semantics;
@@ -50,13 +55,17 @@ pub mod truth;
 pub mod wff;
 
 pub use atom::{AtomId, AtomTable};
+pub use cache::{CacheStats, MemoCache};
 pub use clause::Clause;
 pub use clause_set::ClauseSet;
 pub use cnf::{clauses_to_wff, cnf_of};
 pub use counting::count_models;
 pub use dpll::{entails, entails_clauses, equivalent, is_satisfiable, Solver};
+pub use engine::{engine_mode, set_engine_mode, with_engine, EngineMode};
 pub use error::{LogicError, Result};
 pub use implicates::{is_implicate, is_prime_implicate, prime_implicates};
+pub use index::IndexedClauseSet;
+pub use intern::ClauseId;
 pub use literal::Literal;
 pub use parser::{parse_clause, parse_clause_set, parse_wff};
 pub use rng::Rng;

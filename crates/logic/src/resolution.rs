@@ -77,42 +77,64 @@ pub fn drop_atoms(set: &ClauseSet, atoms: &BTreeSet<AtomId>) -> ClauseSet {
 /// Saturates `set` under resolution on all atoms, up to subsumption.
 /// Used by the refutation-based consistency check and by tests; worst-case
 /// exponential, as the paper's complexity discussion (§2.3.6) warns.
+///
+/// The fixpoint is canonical — the subsumption-minimal elements of the
+/// resolution closure — so the naive round-based engine
+/// ([`crate::reference::saturate`]) and the indexed worklist engine
+/// ([`saturate_indexed`]) return bit-identical sets; only the number of
+/// resolvent pairs tried (`logic.resolution.pairs_tried`) differs.
 pub fn saturate(set: &ClauseSet) -> ClauseSet {
     let sp = span!("logic.resolution.saturate", "clauses_in" => set.len());
-    let mut rounds: u64 = 0;
-    let mut current = set.clone();
-    current.reduce_subsumed();
-    loop {
-        rounds += 1;
-        let mut added = false;
-        let atoms: Vec<AtomId> = current.props().into_iter().collect();
-        let snapshot = current.clone();
-        for a in atoms {
-            let (pos_side, neg_side) = snapshot.split_on(a);
-            for p in &pos_side {
-                for n in &neg_side {
-                    if let Some(r) = resolvent(p, n, a) {
-                        if r.is_tautology() {
-                            continue;
+    let out = match crate::engine::engine_mode() {
+        crate::engine::EngineMode::Naive => crate::reference::saturate(set),
+        crate::engine::EngineMode::Indexed => saturate_indexed(set),
+    };
+    sp.attr("clauses_out", out.len());
+    out
+}
+
+/// Semi-naive saturation on the literal-occurrence index: a given-clause
+/// worklist seeded units-first (ascending clause length). Each clause is
+/// popped once and resolved only against the occurrence lists of its own
+/// literals' complements — no round ever re-tries old × old pairs, which
+/// is where the naive engine burns its `pairs_tried` budget.
+fn saturate_indexed(set: &ClauseSet) -> ClauseSet {
+    let mut idx = crate::index::IndexedClauseSet::new();
+    let mut order: Vec<Clause> = set.iter().cloned().collect();
+    order.sort_by_key(Clause::len);
+    for c in order {
+        // Raw insert: input tautologies stay members unless subsumed,
+        // exactly as the naive engine's initial reduce_subsumed leaves
+        // them.
+        idx.insert_with_subsumption_raw(c);
+    }
+    let mut queue: Vec<crate::index::Slot> = idx.live_slots();
+    while let Some(slot) = queue.pop() {
+        let Some(c) = idx.clause(slot).cloned() else {
+            continue; // subsumed away before its turn
+        };
+        for &lit in c.literals() {
+            for pslot in idx.partners(lit.negated()) {
+                let Some(d) = idx.clause(pslot).cloned() else {
+                    continue;
+                };
+                counter!("logic.resolution.pairs_tried").inc();
+                let r = if lit.is_positive() {
+                    resolvent(&c, &d, lit.atom())
+                } else {
+                    resolvent(&d, &c, lit.atom())
+                };
+                if let Some(r) = r {
+                    if !r.is_tautology() && idx.insert_with_subsumption(r.clone()) {
+                        if let Some(s) = idx.slot_of(&r) {
+                            queue.push(s);
                         }
-                        // Skip resolvents already subsumed by a member.
-                        if current.iter().any(|c| c.subsumes(&r)) {
-                            continue;
-                        }
-                        current.insert(r);
-                        added = true;
                     }
                 }
             }
         }
-        if !added {
-            current.reduce_subsumed();
-            sp.attr("rounds", rounds);
-            sp.attr("clauses_out", current.len());
-            return current;
-        }
-        current.reduce_subsumed();
     }
+    idx.to_set()
 }
 
 /// Resolution-refutation consistency check: `Φ` is inconsistent iff the

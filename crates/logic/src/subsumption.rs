@@ -6,10 +6,10 @@
 //! shrinks, and keeps the clause-level states close to canonical so that
 //! emulation checks against the instance level stay tractable.
 
-use pwdb_metrics::counter;
-
 use crate::clause::Clause;
 use crate::clause_set::ClauseSet;
+use crate::engine::{engine_mode, EngineMode};
+use crate::index::IndexedClauseSet;
 
 /// Returns `true` iff some member of `set` subsumes `clause`.
 pub fn is_subsumed_by(set: &ClauseSet, clause: &Clause) -> bool {
@@ -18,33 +18,39 @@ pub fn is_subsumed_by(set: &ClauseSet, clause: &Clause) -> bool {
 
 /// Inserts `clause` into `set` applying forward and backward subsumption:
 /// the clause is skipped if subsumed by a member, and members it subsumes
-/// are removed. Tautologies are skipped. Returns whether `set` changed.
+/// are removed. Tautologies are skipped, and a clause equal to an existing
+/// member reports "not added" *before* any subsumption work (it used to be
+/// folded into the forward sweep, which skewed the forward-hit counters
+/// and made insert/merge return counts asymmetric between engines).
+/// Returns whether `set` changed.
+///
+/// A single insert cannot amortize an index build, so both engines share
+/// the scan-based path; the bulk operations ([`merge_with_subsumption`],
+/// [`ClauseSet::reduce_subsumed`], the resolution closures) are the ones
+/// that dispatch to [`IndexedClauseSet`].
 pub fn insert_with_subsumption(set: &mut ClauseSet, clause: Clause) -> bool {
-    if clause.is_tautology() {
-        return false;
-    }
-    if is_subsumed_by(set, &clause) {
-        counter!("logic.subsumption.forward_hits").inc();
-        return false;
-    }
-    let doomed: Vec<Clause> = set.iter().filter(|c| clause.subsumes(c)).cloned().collect();
-    counter!("logic.subsumption.backward_hits").add(doomed.len() as u64);
-    for c in &doomed {
-        set.remove(c);
-    }
-    set.insert(clause)
+    crate::reference::insert_with_subsumption(set, clause)
 }
 
 /// Merges `other` into `set` with subsumption, returning the number of
-/// clauses actually added.
+/// clauses actually added. Under the indexed engine the target set is
+/// indexed once and every member of `other` is inserted through the
+/// occurrence lists; the naive engine scans the whole set per member.
 pub fn merge_with_subsumption(set: &mut ClauseSet, other: &ClauseSet) -> usize {
-    let mut added = 0;
-    for c in other.iter() {
-        if insert_with_subsumption(set, c.clone()) {
-            added += 1;
+    match engine_mode() {
+        EngineMode::Naive => crate::reference::merge_with_subsumption(set, other),
+        EngineMode::Indexed => {
+            let mut idx = IndexedClauseSet::from_set(set);
+            let mut added = 0;
+            for c in other.iter() {
+                if idx.insert_with_subsumption(c.clone()) {
+                    added += 1;
+                }
+            }
+            *set = idx.to_set();
+            added
         }
     }
-    added
 }
 
 #[cfg(test)]
