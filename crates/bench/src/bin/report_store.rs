@@ -1,0 +1,163 @@
+//! Durability benchmark: WAL append throughput, checkpoint latency, and
+//! crash-recovery time as a function of log length.
+//!
+//! Each section runs against a throwaway store directory and records its
+//! wall time plus the `store.*` metric delta. The results go to
+//! `BENCH_store.json` as the `store_bench` document with a flat `summary`
+//! of the headline numbers (append/replay throughput, recovery wall time
+//! at each log length, checkpoint latency).
+//!
+//! The binary *asserts* the recovery semantics it measures: a recovery
+//! from a snapshot-covered log replays zero statements, a recovery from a
+//! bare log replays all of them, and both recover the same clause-set
+//! state as an uninterrupted in-memory run.
+
+use std::time::Instant;
+
+use pwdb::hlu::{ClausalDatabase, HluProgram};
+use pwdb::logic::{Rng, Wff};
+use pwdb::store::TestDir;
+use pwdb_metrics::json::Json;
+use pwdb_metrics::MetricsSnapshot;
+
+/// Log lengths (statements) the recovery sections sweep.
+const LOG_LENGTHS: [usize; 3] = [64, 256, 1024];
+
+/// A cheap seeded statement stream over a 4-atom vocabulary. Statements
+/// are simple enough that replay cost is dominated by the engine's fixed
+/// per-statement work, which is what recovery throughput should measure.
+fn statement(rng: &mut Rng) -> HluProgram {
+    let a = Wff::atom(rng.below(4) as u32);
+    let b = Wff::atom(rng.below(4) as u32);
+    match rng.below(4) {
+        0 => HluProgram::Insert(a.or(b)),
+        1 => HluProgram::Insert(a.and(b.not())),
+        2 => HluProgram::Delete(a),
+        _ => HluProgram::Assert(a.or(b.not())),
+    }
+}
+
+/// Times `f`, returning (wall ns, metrics delta, result).
+fn section<T>(f: impl FnOnce() -> T) -> (u64, MetricsSnapshot, T) {
+    let before = pwdb_metrics::snapshot();
+    let start = Instant::now();
+    let out = f();
+    let wall_ns = start.elapsed().as_nanos() as u64;
+    (wall_ns, pwdb_metrics::snapshot().delta(&before), out)
+}
+
+/// Writes `n` seeded statements durably into `dir` (one fsync each),
+/// checkpointing first if asked. Returns the uninterrupted database.
+fn populate(dir: &TestDir, n: usize, checkpoint_at_end: bool) -> ClausalDatabase {
+    let mut rng = Rng::new(0x570BE);
+    let mut db = ClausalDatabase::open(dir.path()).expect("open store");
+    let mut oracle = ClausalDatabase::new();
+    for _ in 0..n {
+        let p = statement(&mut rng);
+        db.run(&p).expect("durable run");
+        oracle.run(&p);
+    }
+    if checkpoint_at_end {
+        db.checkpoint().expect("checkpoint");
+    }
+    assert_eq!(db.state(), oracle.state(), "durable run diverged");
+    oracle
+}
+
+fn main() {
+    pwdb_metrics::reset();
+    let mut sections: Vec<(String, Json)> = Vec::new();
+    let mut summary: Vec<(String, Json)> = Vec::new();
+
+    // WAL append throughput: 1024 statements, one fsync per statement.
+    let append_n = *LOG_LENGTHS.last().unwrap();
+    let dir = TestDir::new("bench-append");
+    let (wall_ns, delta, _) = section(|| populate(&dir, append_n, false));
+    assert_eq!(delta.counter("store.wal.fsyncs") as usize, append_n);
+    let per_sec = append_n as u64 * 1_000_000_000 / wall_ns.max(1);
+    sections.push(section_json("wal_append_1024", wall_ns, &delta));
+    summary.push((
+        "wal_append_statements_per_sec".to_string(),
+        Json::UInt(per_sec),
+    ));
+    drop(dir);
+
+    // Checkpoint latency on the state those statements build.
+    let dir = TestDir::new("bench-checkpoint");
+    let _oracle = populate(&dir, append_n, false);
+    let (wall_ns, delta, bytes) = section(|| {
+        let mut db = ClausalDatabase::open(dir.path()).expect("reopen");
+        let (_, bytes) = db.checkpoint().expect("checkpoint");
+        bytes
+    });
+    assert!(delta.counter("store.snapshot.writes") >= 1);
+    sections.push(section_json("checkpoint_after_1024", wall_ns, &delta));
+    summary.push(("checkpoint_wall_ns".to_string(), Json::UInt(wall_ns)));
+    summary.push(("snapshot_bytes".to_string(), Json::UInt(bytes)));
+    drop(dir);
+
+    // Recovery time vs log length, no snapshot: replay everything.
+    let mut replay_per_sec = 0;
+    for n in LOG_LENGTHS {
+        let dir = TestDir::new("bench-recover");
+        let oracle = populate(&dir, n, false);
+        let (wall_ns, delta, db) = section(|| ClausalDatabase::open(dir.path()).expect("recover"));
+        assert_eq!(delta.counter("store.recover.replayed") as usize, n);
+        assert_eq!(db.recovery_report().replayed, n);
+        assert_eq!(db.state(), oracle.state(), "recovery diverged at n={n}");
+        sections.push(section_json(&format!("recover_log_{n}"), wall_ns, &delta));
+        summary.push((format!("recovery_wall_ns_log_{n}"), Json::UInt(wall_ns)));
+        replay_per_sec = n as u64 * 1_000_000_000 / wall_ns.max(1);
+    }
+    summary.push((
+        "replay_statements_per_sec_log_1024".to_string(),
+        Json::UInt(replay_per_sec),
+    ));
+
+    // Recovery from a snapshot: the log is just as long, but nothing
+    // needs replaying — recovery cost becomes snapshot-load cost.
+    let n = *LOG_LENGTHS.last().unwrap();
+    let dir = TestDir::new("bench-recover-snap");
+    let oracle = populate(&dir, n, true);
+    let (wall_ns, delta, db) =
+        section(|| ClausalDatabase::open(dir.path()).expect("recover from snapshot"));
+    assert_eq!(delta.counter("store.recover.replayed"), 0);
+    assert_eq!(db.recovery_report().replayed, 0);
+    assert_eq!(db.recovery_report().from_snapshot, n);
+    assert_eq!(db.state(), oracle.state(), "snapshot recovery diverged");
+    sections.push(section_json("recover_snapshot_1024", wall_ns, &delta));
+    summary.push((
+        "recovery_wall_ns_snapshot_1024".to_string(),
+        Json::UInt(wall_ns),
+    ));
+    drop(dir);
+
+    let doc = Json::obj([
+        (
+            "store_bench".to_string(),
+            Json::obj(sections.iter().cloned()),
+        ),
+        ("summary".to_string(), Json::obj(summary.iter().cloned())),
+    ]);
+    let rendered = doc.render();
+    let parsed = Json::parse(&rendered).expect("rendered JSON must re-parse");
+    assert_eq!(parsed.render(), rendered, "JSON round-trip mismatch");
+    std::fs::write("BENCH_store.json", &rendered).expect("write BENCH_store.json");
+
+    println!("wrote BENCH_store.json ({} bytes)", rendered.len());
+    for (name, v) in &summary {
+        if let Json::UInt(v) = v {
+            println!("  {name:<40} {v:>12}");
+        }
+    }
+}
+
+fn section_json(name: &str, wall_ns: u64, delta: &MetricsSnapshot) -> (String, Json) {
+    (
+        name.to_string(),
+        Json::obj([
+            ("wall_ns".to_string(), Json::UInt(wall_ns)),
+            ("metrics".to_string(), delta.to_json_value()),
+        ]),
+    )
+}

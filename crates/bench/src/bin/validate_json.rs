@@ -14,7 +14,10 @@
 //!   every section decode back into a `MetricsSnapshot`;
 //! - an `index_comparison` document (from `report_index`) must have a
 //!   `naive` and an `indexed` snapshot per section, and a `summary` whose
-//!   every counter carries both engine totals.
+//!   every counter carries both engine totals;
+//! - a `store_bench` document (from `report_store`) must have a numeric
+//!   `wall_ns` and a decodable `metrics` snapshot per section, and a
+//!   `summary` of numeric headline values.
 //!
 //! Exits non-zero with the byte offset on the first failure, so CI can
 //! gate on it.
@@ -84,6 +87,44 @@ fn validate(path: &str) -> Result<String, String> {
         ));
     }
 
+    if let Some(bench) = doc.get("store_bench") {
+        let Json::Obj(sections) = bench else {
+            return Err("store_bench is not an object".to_owned());
+        };
+        if sections.is_empty() {
+            return Err("store_bench is empty".to_owned());
+        }
+        for (name, section) in sections {
+            if section.get("wall_ns").and_then(Json::as_u64).is_none() {
+                return Err(format!("section '{name}' is missing a numeric 'wall_ns'"));
+            }
+            let metrics = section
+                .get("metrics")
+                .ok_or_else(|| format!("section '{name}' is missing 'metrics'"))?;
+            MetricsSnapshot::from_json_value(metrics)
+                .map_err(|e| format!("section '{name}' metrics: {e}"))?;
+        }
+        let summary = doc
+            .get("summary")
+            .ok_or_else(|| "missing 'summary'".to_owned())?;
+        let Json::Obj(values) = summary else {
+            return Err("summary is not an object".to_owned());
+        };
+        if values.is_empty() {
+            return Err("summary is empty".to_owned());
+        }
+        for (name, v) in values {
+            if v.as_u64().is_none() {
+                return Err(format!("summary '{name}' is not numeric"));
+            }
+        }
+        return Ok(format!(
+            "{} store section(s), {} summary value(s)",
+            sections.len(),
+            values.len()
+        ));
+    }
+
     if let Some(experiments) = doc.get("experiments") {
         let Json::Obj(sections) = experiments else {
             return Err("experiments is not an object".to_owned());
@@ -103,7 +144,10 @@ fn validate(path: &str) -> Result<String, String> {
         ));
     }
 
-    Err("unrecognized document (no traceEvents, index_comparison, or experiments)".to_owned())
+    Err(
+        "unrecognized document (no traceEvents, index_comparison, store_bench, or experiments)"
+            .to_owned(),
+    )
 }
 
 fn main() -> ExitCode {

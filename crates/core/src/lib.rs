@@ -26,6 +26,7 @@
 //! | [`flock`] | `pwdb-flock` | FKUV minimal-change baseline (§3.3.2) |
 //! | [`tables`] | `pwdb-tables` | Imieliński–Lipski V-table baseline (§3.3.3) |
 //! | [`relational`] | `pwdb-relational` | first-order extension: typed nulls, semantic resolution (§5) |
+//! | [`store`] | `pwdb-store` | durability: write-ahead log, snapshots, crash recovery |
 //!
 //! ## Quickstart
 //!
@@ -61,6 +62,7 @@ pub use pwdb_flock as flock;
 pub use pwdb_hlu as hlu;
 pub use pwdb_logic as logic;
 pub use pwdb_relational as relational;
+pub use pwdb_store as store;
 pub use pwdb_tables as tables;
 pub use pwdb_wilkins as wilkins;
 pub use pwdb_worlds as worlds;
@@ -69,8 +71,8 @@ pub use pwdb_worlds as worlds;
 pub mod prelude {
     pub use pwdb_blu::{BluClausal, BluInstance, BluSemantics, GenmaskStrategy};
     pub use pwdb_hlu::{
-        compile, parse_hlu, parse_hlu_script, parse_hlu_statement, ClausalDatabase, Explanation,
-        HluProgram, HluStatement, InstanceDatabase,
+        compile, parse_hlu, parse_hlu_script, parse_hlu_statement, ClausalDatabase,
+        DurableDatabase, Explanation, HluProgram, HluStatement, InstanceDatabase,
     };
     pub use pwdb_logic::{
         parse_clause, parse_clause_set, parse_wff, AtomId, AtomTable, Clause, ClauseSet, Literal,

@@ -103,6 +103,7 @@ pub struct Database<B: HluBackend> {
     state: B::State,
     constraints: Option<Wff>,
     updates_run: usize,
+    history: Vec<HluProgram>,
 }
 
 /// The clausal-backend database (the paper's practicable implementation).
@@ -179,6 +180,7 @@ impl<B: HluBackend> Database<B> {
             state,
             constraints: None,
             updates_run: 0,
+            history: Vec::new(),
         }
     }
 
@@ -201,14 +203,34 @@ impl<B: HluBackend> Database<B> {
         &self.state
     }
 
-    /// Replaces the state wholesale (e.g. to seed a benchmark).
+    /// Replaces the state wholesale (e.g. to seed a benchmark). The
+    /// statement history no longer derives the new state, so it is
+    /// cleared.
     pub fn set_state(&mut self, state: B::State) {
         self.state = state;
+        self.history.clear();
     }
 
     /// Number of HLU programs run so far.
     pub fn updates_run(&self) -> usize {
         self.updates_run
+    }
+
+    /// Every program applied so far, in order — the database's statement
+    /// history. Rejected updates ([`Database::run_rejecting`]) and rolled-
+    /// back transactions are excised, so the history always *derives* the
+    /// current state from the initial one (replaying it on a fresh
+    /// database reproduces `state()` exactly). [`Database::set_state`]
+    /// breaks that derivation and clears the history.
+    pub fn history(&self) -> &[HluProgram] {
+        &self.history
+    }
+
+    /// Seeds the history wholesale (recovery replays use this to restore
+    /// the audit trail for statements already baked into a snapshot).
+    pub fn restore_history(&mut self, history: Vec<HluProgram>, updates_run: usize) {
+        self.history = history;
+        self.updates_run = updates_run;
     }
 
     /// Runs one HLU program against the current state.
@@ -238,6 +260,7 @@ impl<B: HluBackend> Database<B> {
         }
         self.state = next;
         self.updates_run += 1;
+        self.history.push(prog.clone());
     }
 
     /// Convenience: `(assert W)`.
@@ -342,6 +365,7 @@ impl<B: HluBackend> Database<B> {
         } else {
             self.state = saved;
             self.updates_run -= 1;
+            self.history.pop();
             Err(UpdateRejected)
         }
     }
@@ -352,13 +376,16 @@ impl<B: HluBackend> Database<B> {
         Savepoint {
             state: self.state.clone(),
             updates_run: self.updates_run,
+            history_len: self.history.len(),
         }
     }
 
-    /// Restores a previously taken savepoint.
+    /// Restores a previously taken savepoint. Statements run since the
+    /// savepoint are dropped from the history.
     pub fn rollback_to(&mut self, savepoint: Savepoint<B::State>) {
         self.state = savepoint.state;
         self.updates_run = savepoint.updates_run;
+        self.history.truncate(savepoint.history_len);
     }
 
     /// Runs a closure transactionally: if it returns `false` (or the
@@ -456,6 +483,7 @@ impl std::error::Error for UpdateRejected {}
 pub struct Savepoint<S> {
     state: S,
     updates_run: usize,
+    history_len: usize,
 }
 
 #[cfg(test)]
@@ -722,6 +750,56 @@ mod tests {
             WorldSet::from_clauses(3, a.state()),
             WorldSet::from_wff(3, &wff(3, "A1"))
         );
+    }
+
+    #[test]
+    fn history_derives_the_state() {
+        let mut db = ClausalDatabase::new();
+        db.insert(wff(3, "A1 | A2"));
+        db.delete(wff(3, "A3"));
+        db.run(&HluProgram::where1(
+            wff(3, "A1"),
+            HluProgram::Insert(wff(3, "A3")),
+        ));
+        assert_eq!(db.history().len(), 3);
+        assert_eq!(db.history().len(), db.updates_run());
+
+        // Replaying the history on a fresh database reproduces the state.
+        let mut replay = ClausalDatabase::new();
+        for p in db.history().to_vec() {
+            replay.run(&p);
+        }
+        assert_eq!(replay.state(), db.state());
+    }
+
+    #[test]
+    fn history_excises_rejections_and_rollbacks() {
+        let mut db = InstanceDatabase::with_atoms(2).with_constraints(wff(2, "A1 -> A2"));
+        db.insert(wff(2, "A1"));
+        db.run_rejecting(&HluProgram::Assert(wff(2, "!A2")))
+            .unwrap_err();
+        assert_eq!(db.history().len(), 1);
+
+        let sp = db.savepoint();
+        db.insert(wff(2, "!A1"));
+        assert_eq!(db.history().len(), 2);
+        db.rollback_to(sp);
+        assert_eq!(db.history().len(), 1);
+
+        db.transaction(|tx| {
+            tx.delete(wff(2, "A2"));
+            false
+        });
+        assert_eq!(db.history().len(), 1);
+        assert_eq!(db.history()[0], HluProgram::Insert(wff(2, "A1")));
+    }
+
+    #[test]
+    fn set_state_clears_history() {
+        let mut db = ClausalDatabase::new();
+        db.insert(wff(2, "A1"));
+        db.set_state(pwdb_logic::ClauseSet::new());
+        assert!(db.history().is_empty());
     }
 
     #[test]

@@ -1,0 +1,512 @@
+//! Durable clausal databases: WAL-backed apply, checkpoints, recovery.
+//!
+//! [`DurableDatabase`] wraps a [`ClausalDatabase`] and a
+//! [`pwdb_store::Store`] so that every committed statement is durable
+//! before the call returns:
+//!
+//! ```text
+//! run(P):   intern-events → WAL   (new atom names, in id order)
+//!           text(P)       → WAL   (canonical HLU syntax)
+//!           fsync                 ← the commit point
+//!           apply P in memory
+//! ```
+//!
+//! Because HLU statements are morphisms on clausal instances (§1.4), the
+//! database is a deterministic state machine over the statement log:
+//! [`ClausalDatabase::open`] rebuilds the exact state by loading the
+//! newest valid snapshot and re-running the log suffix. Atom ids are kept
+//! stable across restarts by logging *interning events* (`A` records) —
+//! replaying them in order reassigns every name the dense id it had when
+//! first seen, which is what makes the textual statement encoding exact.
+//!
+//! The recovery invariant — a database killed at any injected fault point
+//! recovers to a state **bit-identical** to an in-memory replay of the
+//! committed statement prefix — is enforced by the crash-matrix suite in
+//! `tests/store_recovery.rs`, using the PR 3 differential-oracle pattern
+//! (same inputs through two implementations, `assert_eq!` on the whole
+//! observable surface: clause set, update count, history, name table).
+
+use std::collections::BTreeSet;
+use std::fmt;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use pwdb_logic::{AtomId, AtomTable, LogicError};
+use pwdb_metrics::counter;
+use pwdb_store::{Record, SnapshotData, Store, StoreStats};
+
+use crate::ast::HluProgram;
+use crate::database::{ClausalDatabase, Explanation, UpdateRejected};
+use crate::parser::{parse_hlu, parse_hlu_statement, HluStatement};
+
+/// Failures of the durable layer.
+#[derive(Debug)]
+pub enum DurableError {
+    /// The underlying filesystem failed.
+    Io(io::Error),
+    /// A statement failed to parse (user input via
+    /// [`DurableDatabase::run_statement`]).
+    Parse(LogicError),
+    /// The stored data is not self-consistent (a logged statement no
+    /// longer parses, an atom name collides, …).
+    Corrupt(String),
+    /// The update was rejected by the §1.3.3 consistency check and was
+    /// not logged.
+    Rejected,
+}
+
+impl fmt::Display for DurableError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DurableError::Io(e) => write!(f, "storage I/O error: {e}"),
+            DurableError::Parse(e) => write!(f, "{e}"),
+            DurableError::Corrupt(m) => write!(f, "store corrupt: {m}"),
+            DurableError::Rejected => UpdateRejected.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for DurableError {}
+
+impl From<io::Error> for DurableError {
+    fn from(e: io::Error) -> Self {
+        DurableError::Io(e)
+    }
+}
+
+impl From<LogicError> for DurableError {
+    fn from(e: LogicError) -> Self {
+        DurableError::Parse(e)
+    }
+}
+
+/// What [`ClausalDatabase::open`] found and did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Statements replayed from the log suffix.
+    pub replayed: usize,
+    /// Statements restored to the history without replay (covered by the
+    /// snapshot).
+    pub from_snapshot: usize,
+    /// Bytes of torn or corrupt log tail that were truncated.
+    pub truncated_bytes: u64,
+    /// Corrupt snapshot files skipped before one validated.
+    pub snapshots_skipped: u64,
+}
+
+/// A clausal database whose every committed statement is durable.
+///
+/// Read access goes through `Deref<Target = ClausalDatabase>` (queries,
+/// `state()`, `history()`, `cache_stats()`); updates must go through the
+/// durable methods here, which hit the WAL before touching memory. There
+/// is deliberately no `DerefMut` — a mutable escape hatch would let
+/// statements bypass the log.
+#[derive(Debug)]
+pub struct DurableDatabase {
+    db: ClausalDatabase,
+    atoms: AtomTable,
+    store: Store,
+    /// Atoms already made durable as WAL `A` records; ids at or beyond
+    /// this are logged before the next statement commits.
+    persisted_atoms: usize,
+    recovery: RecoveryReport,
+}
+
+impl ClausalDatabase {
+    /// Opens (creating if needed) a durable database in `dir`, running
+    /// crash recovery: newest valid snapshot + replay of the log suffix,
+    /// with torn tails truncated. Uses the paper-exact algebra; see
+    /// [`DurableDatabase::open_with`] to open with a configured backend.
+    pub fn open(dir: &Path) -> Result<DurableDatabase, DurableError> {
+        DurableDatabase::open_with(ClausalDatabase::new(), dir)
+    }
+}
+
+impl DurableDatabase {
+    /// Opens `dir` with an explicitly configured (but fresh — zero
+    /// updates run) database, e.g. `ClausalDatabase::new_reduced()`. The
+    /// configuration must match the one that wrote the directory:
+    /// recovery replays statements through *this* backend, and the algebra
+    /// (reduced vs paper-exact) is part of the state machine.
+    pub fn open_with(db: ClausalDatabase, dir: &Path) -> Result<DurableDatabase, DurableError> {
+        assert_eq!(
+            db.updates_run(),
+            0,
+            "open_with requires a fresh database (its state must be \
+             derivable from the log alone)"
+        );
+        let _sp = pwdb_trace::span!("store.recover");
+        let (store, recovery) = Store::open(dir)?;
+
+        let mut atoms = AtomTable::new();
+        for name in &recovery.atom_names {
+            let id = atoms.intern(name);
+            if id.index() + 1 != atoms.len() {
+                return Err(DurableError::Corrupt(format!(
+                    "duplicate atom record '{name}'"
+                )));
+            }
+        }
+
+        let mut db = db;
+        let mut report = RecoveryReport {
+            replayed: 0,
+            from_snapshot: recovery.replay_from,
+            truncated_bytes: recovery.truncated_bytes,
+            snapshots_skipped: recovery.snapshots_skipped,
+        };
+        if let Some(snap) = &recovery.snapshot {
+            db.set_state(snap.clauses.clone());
+        }
+
+        // Parse the full statement log (history), replay only the suffix.
+        let mut prefix_history = Vec::with_capacity(recovery.replay_from);
+        let mut suffix = Vec::new();
+        for (i, text) in recovery.statements.iter().enumerate() {
+            let prog = parse_hlu(text, &mut atoms).map_err(|e| {
+                DurableError::Corrupt(format!("logged statement {i} no longer parses: {e}"))
+            })?;
+            if i < recovery.replay_from {
+                prefix_history.push(prog);
+            } else {
+                suffix.push(prog);
+            }
+        }
+        let baked = prefix_history.len();
+        db.restore_history(prefix_history, baked);
+        {
+            let _sp = pwdb_trace::span!("store.recover.replay");
+            for prog in &suffix {
+                db.run(prog);
+                counter!("store.recover.replayed").inc();
+                report.replayed += 1;
+            }
+        }
+
+        let persisted_atoms = atoms.len();
+        Ok(DurableDatabase {
+            db,
+            atoms,
+            store,
+            persisted_atoms,
+            recovery: report,
+        })
+    }
+
+    /// What recovery found and did when this database was opened.
+    pub fn recovery_report(&self) -> &RecoveryReport {
+        &self.recovery
+    }
+
+    /// The wrapped in-memory database (read-only).
+    pub fn db(&self) -> &ClausalDatabase {
+        &self.db
+    }
+
+    /// The persistent name table (read-only).
+    pub fn atoms(&self) -> &AtomTable {
+        &self.atoms
+    }
+
+    /// Mutable access to the name table for *parsing*: new names interned
+    /// here become durable (as WAL `A` records) the next time a statement
+    /// commits or a checkpoint is taken.
+    pub fn atoms_mut(&mut self) -> &mut AtomTable {
+        &mut self.atoms
+    }
+
+    /// Durability statistics (log records/bytes, newest snapshot).
+    pub fn store_stats(&self) -> StoreStats {
+        self.store.stats()
+    }
+
+    /// The storage directory.
+    pub fn dir(&self) -> &Path {
+        self.store.dir()
+    }
+
+    /// Logs `prog` (WAL append + fsync), then applies it. On return the
+    /// statement is durable: recovery after any crash replays it.
+    pub fn run(&mut self, prog: &HluProgram) -> Result<(), DurableError> {
+        self.log_statement(prog)?;
+        self.db.run(prog);
+        Ok(())
+    }
+
+    /// The §1.3.3 rejection discipline, durably: the update is evaluated
+    /// in memory first and only logged once it is known to commit, so a
+    /// rejected statement never reaches the WAL. If logging itself fails,
+    /// the in-memory application is rolled back and the error surfaces —
+    /// memory never runs ahead of the log.
+    pub fn run_rejecting(&mut self, prog: &HluProgram) -> Result<(), DurableError> {
+        let saved = self.db.savepoint();
+        if self.db.run_rejecting(prog).is_err() {
+            return Err(DurableError::Rejected);
+        }
+        if let Err(e) = self.log_statement(prog) {
+            self.db.rollback_to(saved);
+            return Err(e);
+        }
+        Ok(())
+    }
+
+    /// Parses and executes one shell-level statement. `EXPLAIN` wrappers
+    /// return the trace; the update is logged and applied either way.
+    pub fn run_statement(&mut self, text: &str) -> Result<Option<Explanation>, DurableError> {
+        match parse_hlu_statement(text, &mut self.atoms)? {
+            HluStatement::Run(prog) => {
+                self.run(&prog)?;
+                Ok(None)
+            }
+            HluStatement::Explain(prog) => self.explain(&prog).map(Some),
+        }
+    }
+
+    /// `EXPLAIN`, durably: the statement is logged (it *is* applied, like
+    /// [`DurableDatabase::run`]) and the execution trace returned.
+    pub fn explain(&mut self, prog: &HluProgram) -> Result<Explanation, DurableError> {
+        self.log_statement(prog)?;
+        Ok(self.db.explain(prog))
+    }
+
+    /// Writes a snapshot of the current state, atomically and durably.
+    /// The log is kept whole, so older snapshots remain valid fallbacks;
+    /// recovery always picks the newest snapshot that validates. Returns
+    /// the snapshot path and its size in bytes.
+    pub fn checkpoint(&mut self) -> Result<(PathBuf, u64), DurableError> {
+        // Atoms interned since the last commit (e.g. by queries) must hit
+        // the log first: the WAL is the single source of truth for the
+        // name table, under any snapshot ∘ suffix combination.
+        self.log_new_atoms()?;
+        let data = SnapshotData {
+            wal_records: self.store.records(),
+            updates_run: self.db.updates_run() as u64,
+            clauses: self.db.state().clone(),
+        };
+        Ok(self.store.checkpoint(&data)?)
+    }
+
+    /// Appends `A` records for atoms not yet durable, validating that
+    /// their names survive the textual round trip.
+    fn log_new_atoms(&mut self) -> Result<(), DurableError> {
+        for i in self.persisted_atoms..self.atoms.len() {
+            let name = self
+                .atoms
+                .name(AtomId(i as u32))
+                .expect("dense ids")
+                .to_owned();
+            if !is_parseable_name(&name) {
+                return Err(DurableError::Corrupt(format!(
+                    "atom name {name:?} cannot be stored: the WAL's textual \
+                     statement encoding requires [A-Za-z_][A-Za-z0-9_']*"
+                )));
+            }
+            self.store.append(&Record::Atom(name))?;
+        }
+        self.persisted_atoms = self.atoms.len();
+        Ok(())
+    }
+
+    /// WAL append + fsync for one statement (the write path's first two
+    /// steps). The caller applies the program afterwards.
+    fn log_statement(&mut self, prog: &HluProgram) -> Result<(), DurableError> {
+        let _sp = pwdb_trace::span!("store.durable.commit");
+        self.ensure_named(prog)?;
+        self.log_new_atoms()?;
+        let text = prog.display(&self.atoms).to_string();
+        self.store.append(&Record::Stmt(text))?;
+        self.store.commit()?;
+        Ok(())
+    }
+
+    /// Guarantees every atom `prog` references has a name, extending the
+    /// table with the paper's default `A<i+1>` names for ids created
+    /// programmatically (e.g. `Wff::atom(7)` against an empty table).
+    fn ensure_named(&mut self, prog: &HluProgram) -> Result<(), DurableError> {
+        let referenced = referenced_atoms(prog);
+        let Some(max) = referenced.iter().last().copied() else {
+            return Ok(());
+        };
+        for i in self.atoms.len()..=max.index() {
+            let name = AtomId(i as u32).default_name();
+            let id = self.atoms.intern(&name);
+            if id.index() != i {
+                return Err(DurableError::Corrupt(format!(
+                    "cannot auto-name atom id {i}: '{name}' already names \
+                     atom id {}",
+                    id.index()
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl std::ops::Deref for DurableDatabase {
+    type Target = ClausalDatabase;
+
+    fn deref(&self) -> &ClausalDatabase {
+        &self.db
+    }
+}
+
+/// Whether `name` lexes as a single atom name in the wff/HLU grammars
+/// (so `display → parse` reproduces it exactly).
+fn is_parseable_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    let Some(first) = chars.next() else {
+        return false;
+    };
+    (first.is_ascii_alphabetic() || first == '_')
+        && chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '\'')
+}
+
+/// All atoms a program mentions (parameters of both sorts).
+fn referenced_atoms(prog: &HluProgram) -> BTreeSet<AtomId> {
+    fn collect(prog: &HluProgram, out: &mut BTreeSet<AtomId>) {
+        match prog {
+            HluProgram::Identity => {}
+            HluProgram::Assert(w) | HluProgram::Insert(w) | HluProgram::Delete(w) => {
+                out.extend(w.props());
+            }
+            HluProgram::Modify(w, v) => {
+                out.extend(w.props());
+                out.extend(v.props());
+            }
+            HluProgram::Clear(mask) => out.extend(mask.iter().copied()),
+            HluProgram::Where(w, p, q) => {
+                out.extend(w.props());
+                collect(p.as_ref(), out);
+                collect(q.as_ref(), out);
+            }
+        }
+    }
+    let mut out = BTreeSet::new();
+    collect(prog, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pwdb_logic::parse_wff;
+    use pwdb_store::TestDir;
+
+    fn run_text(db: &mut DurableDatabase, text: &str) {
+        db.run_statement(text).unwrap();
+    }
+
+    #[test]
+    fn open_run_reopen_recovers_state_and_names() {
+        let dir = TestDir::new("durable-basic");
+        {
+            let mut db = ClausalDatabase::open(dir.path()).unwrap();
+            run_text(&mut db, "(insert {rain | snow})");
+            run_text(&mut db, "(assert {!rain})");
+            run_text(&mut db, "(where {snow} (insert {plows}))");
+        }
+        let mut db = ClausalDatabase::open(dir.path()).unwrap();
+        assert_eq!(db.updates_run(), 3);
+        assert_eq!(db.history().len(), 3);
+        let q = parse_wff("snow & plows", db.atoms_mut()).unwrap();
+        assert!(db.is_certain(&q));
+        assert_eq!(
+            db.atoms()
+                .iter()
+                .map(|(_, n)| n.to_owned())
+                .collect::<Vec<_>>(),
+            vec!["rain", "snow", "plows"]
+        );
+    }
+
+    #[test]
+    fn checkpoint_then_more_statements_then_recover() {
+        let dir = TestDir::new("durable-ckpt");
+        {
+            let mut db = ClausalDatabase::open(dir.path()).unwrap();
+            run_text(&mut db, "(insert {A1 | A2})");
+            let (_, bytes) = db.checkpoint().unwrap();
+            assert!(bytes > 0);
+            run_text(&mut db, "(delete {A2})");
+        }
+        let db = ClausalDatabase::open(dir.path()).unwrap();
+        assert_eq!(db.updates_run(), 2);
+        assert_eq!(db.recovery_report().replayed, 1);
+        assert_eq!(db.recovery_report().from_snapshot, 1);
+        // Bit-identical to a pure in-memory replay.
+        let mut oracle = ClausalDatabase::new();
+        let mut t = AtomTable::with_indexed_atoms(2);
+        for text in ["(insert {A1 | A2})", "(delete {A2})"] {
+            oracle.run(&parse_hlu(text, &mut t).unwrap());
+        }
+        assert_eq!(db.state(), oracle.state());
+        assert_eq!(db.history(), oracle.history());
+    }
+
+    #[test]
+    fn programmatic_atoms_get_default_names() {
+        let dir = TestDir::new("durable-autoname");
+        {
+            let mut db = ClausalDatabase::open(dir.path()).unwrap();
+            // Atom ids 0..=2 used with an empty table.
+            db.run(&HluProgram::Insert(
+                pwdb_logic::Wff::atom(0).or(pwdb_logic::Wff::atom(2)),
+            ))
+            .unwrap();
+        }
+        let db = ClausalDatabase::open(dir.path()).unwrap();
+        assert_eq!(db.atoms().name(AtomId(2)), Some("A3"));
+        assert_eq!(db.updates_run(), 1);
+    }
+
+    #[test]
+    fn rejected_updates_never_reach_the_log() {
+        let dir = TestDir::new("durable-reject");
+        {
+            let mut db = DurableDatabase::open_with(
+                ClausalDatabase::new().with_constraints(pwdb_logic::Wff::atom(0)),
+                dir.path(),
+            )
+            .unwrap();
+            db.atoms_mut().intern("A1");
+            let not_a1 = pwdb_logic::Wff::atom(0).not();
+            assert!(matches!(
+                db.run_rejecting(&HluProgram::Assert(not_a1)),
+                Err(DurableError::Rejected)
+            ));
+            assert_eq!(db.store_stats().wal_records, 0);
+            db.run_rejecting(&HluProgram::Insert(pwdb_logic::Wff::atom(1)))
+                .unwrap();
+        }
+        let db = DurableDatabase::open_with(
+            ClausalDatabase::new().with_constraints(pwdb_logic::Wff::atom(0)),
+            dir.path(),
+        )
+        .unwrap();
+        assert_eq!(db.updates_run(), 1);
+        assert!(db.is_consistent());
+    }
+
+    #[test]
+    fn unstorable_atom_names_are_refused() {
+        let dir = TestDir::new("durable-badname");
+        let mut db = ClausalDatabase::open(dir.path()).unwrap();
+        db.atoms_mut().intern("not a name");
+        let err = db
+            .run(&HluProgram::Insert(pwdb_logic::Wff::atom(0)))
+            .unwrap_err();
+        assert!(matches!(err, DurableError::Corrupt(_)), "{err}");
+    }
+
+    #[test]
+    fn explain_is_logged_like_run() {
+        let dir = TestDir::new("durable-explain");
+        {
+            let mut db = ClausalDatabase::open(dir.path()).unwrap();
+            let explanation = db.run_statement("EXPLAIN (insert {A1})").unwrap();
+            assert!(explanation.is_some());
+        }
+        let db = ClausalDatabase::open(dir.path()).unwrap();
+        assert_eq!(db.updates_run(), 1);
+    }
+}

@@ -23,6 +23,7 @@
 pub mod ast;
 pub mod compile;
 pub mod database;
+pub mod durable;
 pub mod parser;
 
 pub use ast::HluProgram;
@@ -30,4 +31,5 @@ pub use compile::{compile, ArgValue, Compiled};
 pub use database::{
     ClausalDatabase, Database, Explanation, HluBackend, InstanceDatabase, Savepoint, UpdateRejected,
 };
+pub use durable::{DurableDatabase, DurableError, RecoveryReport};
 pub use parser::{parse_hlu, parse_hlu_script, parse_hlu_statement, HluStatement};

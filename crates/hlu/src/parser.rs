@@ -164,6 +164,20 @@ impl HluStatement {
     }
 }
 
+/// The canonical serializer: `Display` output reparses (via
+/// [`parse_hlu_statement`] against a table with the same interning order)
+/// to an equal statement. This textual form is what the write-ahead log
+/// stores, so exactness is load-bearing — `tests/parser_fuzz.rs` fuzzes
+/// the parse ↔ print ↔ parse round trip.
+impl std::fmt::Display for HluStatement {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HluStatement::Run(p) => write!(f, "{p}"),
+            HluStatement::Explain(p) => write!(f, "EXPLAIN {p}"),
+        }
+    }
+}
+
 /// Parses a top-level statement: an HLU program with an optional leading
 /// `EXPLAIN` keyword.
 pub fn parse_hlu_statement(input: &str, atoms: &mut AtomTable) -> Result<HluStatement> {

@@ -232,9 +232,11 @@ impl WffDisplay<'_> {
                 self.write(f, r, 1)?;
             }
             Wff::Iff(l, r) => {
-                self.write(f, l, 1)?;
+                // `<->` parses left-associatively, so a right-nested Iff
+                // needs parentheses (and a left-nested one does not).
+                self.write(f, l, 0)?;
                 write!(f, " <-> ")?;
-                self.write(f, r, 0)?;
+                self.write(f, r, 1)?;
             }
         }
         if paren {

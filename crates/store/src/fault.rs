@@ -1,0 +1,126 @@
+//! Deterministic fault injection for crash-recovery testing.
+//!
+//! Every helper mutates files in place the way a crash or media fault
+//! would: torn tails (truncation mid-record), stray bytes that were
+//! written but never acknowledged, and bit flips at controlled offsets.
+//! Offsets derive from a caller-supplied [`pwdb_logic::Rng`] (SplitMix64)
+//! so each scenario in the crash matrix is replayable from its seed.
+
+use std::fs::OpenOptions;
+use std::io::Write;
+use std::path::Path;
+
+use pwdb_logic::Rng;
+
+/// Truncates `path` to `len` bytes — a crash that lost the tail.
+pub fn truncate_file(path: &Path, len: u64) -> std::io::Result<()> {
+    let f = OpenOptions::new().write(true).open(path)?;
+    f.set_len(len)?;
+    f.sync_all()?;
+    Ok(())
+}
+
+/// Truncates `path` by `drop` bytes from the end (clamped at zero).
+pub fn tear_tail(path: &Path, drop: u64) -> std::io::Result<u64> {
+    let len = std::fs::metadata(path)?.len();
+    let new_len = len.saturating_sub(drop);
+    truncate_file(path, new_len)?;
+    Ok(new_len)
+}
+
+/// Appends raw bytes — data a crashed process wrote past the last fsync
+/// (possibly a whole record that was never acknowledged to the client).
+pub fn append_raw(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    let mut f = OpenOptions::new().create(true).append(true).open(path)?;
+    f.write_all(bytes)?;
+    f.sync_all()?;
+    Ok(())
+}
+
+/// Flips bit `bit` (0–7) of the byte at `offset`.
+pub fn flip_bit(path: &Path, offset: u64, bit: u8) -> std::io::Result<()> {
+    let mut bytes = std::fs::read(path)?;
+    let i = offset as usize;
+    assert!(
+        i < bytes.len(),
+        "flip offset {i} out of range {}",
+        bytes.len()
+    );
+    bytes[i] ^= 1 << (bit & 7);
+    std::fs::write(path, &bytes)?;
+    Ok(())
+}
+
+/// Flips one seeded-random bit within `path`'s byte range
+/// `[from, len)` — used to corrupt an unacknowledged tail without
+/// touching the committed prefix. Returns the (offset, bit) flipped.
+pub fn flip_random_bit_after(path: &Path, from: u64, rng: &mut Rng) -> std::io::Result<(u64, u8)> {
+    let len = std::fs::metadata(path)?.len();
+    assert!(from < len, "no bytes after offset {from} (len {len})");
+    let offset = rng.range_u64(from, len);
+    let bit = rng.below(8) as u8;
+    flip_bit(path, offset, bit)?;
+    Ok((offset, bit))
+}
+
+/// Truncates `path` to a seeded-random length in `[from, len)` —
+/// a torn write that stopped partway through the uncommitted tail.
+pub fn tear_randomly_after(path: &Path, from: u64, rng: &mut Rng) -> std::io::Result<u64> {
+    let len = std::fs::metadata(path)?.len();
+    assert!(from < len, "no bytes after offset {from} (len {len})");
+    let cut = rng.range_u64(from, len);
+    truncate_file(path, cut)?;
+    Ok(cut)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testdir::TestDir;
+
+    #[test]
+    fn helpers_mutate_as_described() {
+        let dir = TestDir::new("fault-helpers");
+        let p = dir.path().join("f");
+        std::fs::write(&p, b"0123456789").unwrap();
+
+        flip_bit(&p, 0, 0).unwrap();
+        assert_eq!(std::fs::read(&p).unwrap()[0], b'0' ^ 1);
+
+        append_raw(&p, b"AB").unwrap();
+        assert_eq!(std::fs::metadata(&p).unwrap().len(), 12);
+
+        tear_tail(&p, 5).unwrap();
+        assert_eq!(std::fs::metadata(&p).unwrap().len(), 7);
+
+        truncate_file(&p, 2).unwrap();
+        assert_eq!(std::fs::read(&p).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn random_faults_stay_in_range_and_are_deterministic() {
+        let dir = TestDir::new("fault-seeded");
+        let p = dir.path().join("f");
+        let mut picks = Vec::new();
+        for round in 0..8 {
+            std::fs::write(&p, vec![0u8; 64]).unwrap();
+            let mut rng = Rng::new(0xFA17 + round);
+            let (off, bit) = flip_random_bit_after(&p, 16, &mut rng).unwrap();
+            assert!((16..64).contains(&off) && bit < 8);
+            // Re-seeding reproduces the identical fault.
+            std::fs::write(&p, vec![0u8; 64]).unwrap();
+            let mut rng2 = Rng::new(0xFA17 + round);
+            assert_eq!(
+                flip_random_bit_after(&p, 16, &mut rng2).unwrap(),
+                (off, bit)
+            );
+            picks.push((off, bit));
+
+            let cut = tear_randomly_after(&p, 16, &mut rng).unwrap();
+            assert!((16..64).contains(&cut));
+            assert_eq!(std::fs::metadata(&p).unwrap().len(), cut);
+        }
+        // Different seeds explore different offsets.
+        assert!(picks.windows(2).any(|w| w[0] != w[1]));
+    }
+}

@@ -1,0 +1,43 @@
+//! Scratch directories for tests and benches, with no external deps.
+//!
+//! `std` has no `tempdir`, so this module derives unique paths from the
+//! process id and a global counter (wall-clock and randomness are
+//! deliberately avoided to keep test runs reproducible). Directories are
+//! removed on drop; a panicking test leaves its directory behind for
+//! inspection and the next run replaces it.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static NEXT: AtomicU64 = AtomicU64::new(0);
+
+/// A uniquely named scratch directory under the system temp dir, removed
+/// (with contents) on drop.
+#[derive(Debug)]
+pub struct TestDir {
+    path: PathBuf,
+}
+
+impl TestDir {
+    /// Creates `…/pwdb-store-<pid>-<n>-<label>`, wiping any leftover from
+    /// a previous crashed run.
+    pub fn new(label: &str) -> TestDir {
+        let n = NEXT.fetch_add(1, Ordering::Relaxed);
+        let path =
+            std::env::temp_dir().join(format!("pwdb-store-{}-{n}-{label}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&path);
+        std::fs::create_dir_all(&path).expect("create test dir");
+        TestDir { path }
+    }
+
+    /// The directory path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Drop for TestDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.path);
+    }
+}

@@ -79,4 +79,16 @@ fn main() {
     clausal.insert(wff("shipped", &mut atoms));
     assert_eq!(clausal.world_count(n), db.world_count(n));
     println!("clausal engine agrees: {} worlds", clausal.world_count(n));
+
+    // The audit trail itself: every statement that actually committed, in
+    // order. The rejected assert and the rolled-back transaction are
+    // excised — the history always derives the current state.
+    println!(
+        "\naudit trail ({} committed statement(s)):",
+        db.history().len()
+    );
+    for (i, stmt) in db.history().iter().enumerate() {
+        println!("  {:>2}. {}", i + 1, stmt.display(&atoms));
+    }
+    assert_eq!(db.history().len(), db.updates_run());
 }

@@ -21,6 +21,12 @@
 //! :cache clear          drop every memoized entry
 //! :state                print the clause-set state
 //! :atoms                print the interned vocabulary
+//! :history              print every statement applied so far, in order
+//! :open <dir>           switch to a durable database stored in <dir>
+//!                       (recovers WAL + snapshots; every statement is
+//!                       fsync'd before it applies)
+//! :checkpoint           write a snapshot of the durable database
+//! :wal                   log / snapshot statistics of the open store
 //! :quit
 //! ```
 
@@ -33,8 +39,10 @@ fn main() {
     let stdin = std::io::stdin();
     let interactive = stdin.is_terminal();
 
-    let mut atoms = AtomTable::new();
-    let mut db = ClausalDatabase::new();
+    let mut backend = Backend::Memory {
+        db: ClausalDatabase::new(),
+        atoms: AtomTable::new(),
+    };
     let mut shell = Shell::new();
 
     let demo = [
@@ -77,7 +85,7 @@ fn main() {
         if !interactive {
             println!("pwdb> {line}");
         }
-        match execute(&line, &mut db, &mut atoms, &mut shell) {
+        match execute(&line, &mut backend, &mut shell) {
             Ok(Reply::Quit) => break,
             Ok(Reply::Text(t)) => println!("{t}"),
             Err(e) => println!("error: {e}"),
@@ -97,6 +105,73 @@ enum Reply {
     Quit,
 }
 
+/// The database the shell is talking to: a plain in-memory one, or a
+/// durable one whose every statement hits the WAL before applying.
+enum Backend {
+    Memory {
+        db: ClausalDatabase,
+        atoms: AtomTable,
+    },
+    Durable(DurableDatabase),
+}
+
+impl Backend {
+    /// Read-only view of the underlying clausal database.
+    fn db(&self) -> &ClausalDatabase {
+        match self {
+            Backend::Memory { db, .. } => db,
+            Backend::Durable(d) => d,
+        }
+    }
+
+    fn atoms(&self) -> &AtomTable {
+        match self {
+            Backend::Memory { atoms, .. } => atoms,
+            Backend::Durable(d) => d.atoms(),
+        }
+    }
+
+    /// Executes one statement line (`(...)` or `EXPLAIN (...)`), returning
+    /// the explanation if there was one.
+    fn run_statement(&mut self, line: &str) -> Result<Option<Explanation>, String> {
+        match self {
+            Backend::Memory { db, atoms } => {
+                match parse_hlu_statement(line, atoms).map_err(|e| e.to_string())? {
+                    HluStatement::Run(prog) => {
+                        db.run(&prog);
+                        Ok(None)
+                    }
+                    HluStatement::Explain(prog) => Ok(Some(db.explain(&prog))),
+                }
+            }
+            Backend::Durable(d) => d.run_statement(line).map_err(|e| e.to_string()),
+        }
+    }
+
+    /// `:explain` — always explains (no `EXPLAIN` keyword required).
+    fn explain(&mut self, text: &str) -> Result<Explanation, String> {
+        match self {
+            Backend::Memory { db, atoms } => {
+                let prog = parse_hlu(text, atoms).map_err(|e| e.to_string())?;
+                Ok(db.explain(&prog))
+            }
+            Backend::Durable(d) => {
+                let prog = parse_hlu(text, d.atoms_mut()).map_err(|e| e.to_string())?;
+                d.explain(&prog).map_err(|e| e.to_string())
+            }
+        }
+    }
+
+    /// Parses a wff against the session vocabulary.
+    fn parse_wff(&mut self, text: &str) -> Result<Wff, String> {
+        let atoms = match self {
+            Backend::Memory { atoms, .. } => atoms,
+            Backend::Durable(d) => d.atoms_mut(),
+        };
+        parse_wff(text, atoms).map_err(|e| e.to_string())
+    }
+}
+
 /// Shell-session state beyond the database itself.
 struct Shell {
     /// Snapshot at the previous `:metrics` call (deltas are printed).
@@ -114,26 +189,81 @@ impl Shell {
     }
 }
 
-fn execute(
-    line: &str,
-    db: &mut ClausalDatabase,
-    atoms: &mut AtomTable,
-    shell: &mut Shell,
-) -> Result<Reply, String> {
+fn execute(line: &str, backend: &mut Backend, shell: &mut Shell) -> Result<Reply, String> {
     if line == ":quit" || line == ":q" {
         return Ok(Reply::Quit);
     }
     if line == ":state" {
-        let state = db.state();
+        let state = backend.db().state();
         return Ok(Reply::Text(format!(
             "{} clause(s): {}",
             state.len(),
-            state.display(atoms)
+            state.display(backend.atoms())
         )));
     }
     if line == ":atoms" {
-        let names: Vec<&str> = atoms.iter().map(|(_, n)| n).collect();
+        let names: Vec<&str> = backend.atoms().iter().map(|(_, n)| n).collect();
         return Ok(Reply::Text(format!("{names:?}")));
+    }
+    if line == ":history" {
+        let history = backend.db().history();
+        if history.is_empty() {
+            return Ok(Reply::Text("(no statements applied yet)".to_owned()));
+        }
+        let out: Vec<String> = history
+            .iter()
+            .enumerate()
+            .map(|(i, p)| format!("{:>4}  {}", i + 1, p.display(backend.atoms())))
+            .collect();
+        return Ok(Reply::Text(out.join("\n")));
+    }
+    if let Some(dir) = line.strip_prefix(":open ") {
+        let dir = dir.trim();
+        if dir.is_empty() {
+            return Err("usage: :open <directory>".to_owned());
+        }
+        if backend.db().updates_run() > 0 {
+            println!("(note: the in-memory session is discarded; :open starts from the store)");
+        }
+        let db = ClausalDatabase::open(std::path::Path::new(dir)).map_err(|e| e.to_string())?;
+        let r = db.recovery_report().clone();
+        *backend = Backend::Durable(db);
+        return Ok(Reply::Text(format!(
+            "opened {dir}: {} statement(s) recovered ({} replayed from the log, \
+             {} from the snapshot), {} torn byte(s) truncated, {} snapshot(s) skipped",
+            r.replayed + r.from_snapshot,
+            r.replayed,
+            r.from_snapshot,
+            r.truncated_bytes,
+            r.snapshots_skipped
+        )));
+    }
+    if line == ":checkpoint" {
+        let Backend::Durable(d) = backend else {
+            return Err("no store open (use `:open <dir>` first)".to_owned());
+        };
+        let (path, bytes) = d.checkpoint().map_err(|e| e.to_string())?;
+        return Ok(Reply::Text(format!(
+            "snapshot written: {} ({bytes} byte(s))",
+            path.display()
+        )));
+    }
+    if line == ":wal" {
+        let Backend::Durable(d) = backend else {
+            return Err("no store open (use `:open <dir>` first)".to_owned());
+        };
+        let s = d.store_stats();
+        let snap = match (s.snapshot_records, s.snapshot_bytes) {
+            (Some(r), Some(b)) => format!("newest snapshot covers {r} record(s), {b} byte(s)"),
+            _ => "no snapshot yet".to_owned(),
+        };
+        return Ok(Reply::Text(format!(
+            "{} in {}\nlog: {} record(s), {} byte(s); {snap}",
+            "durable store",
+            d.dir().display(),
+            s.wal_records,
+            s.wal_bytes
+        )));
     }
     if line == ":metrics" {
         let now = pwdb_metrics::snapshot();
@@ -142,7 +272,7 @@ fn execute(
         return Ok(Reply::Text(render_metrics(&delta)));
     }
     if line == ":cache" {
-        let stats = db.cache_stats();
+        let stats = backend.db().cache_stats();
         if stats.is_empty() {
             return Ok(Reply::Text(
                 "(no caches registered yet — run an update first)".to_owned(),
@@ -161,7 +291,7 @@ fn execute(
         return Ok(Reply::Text(out));
     }
     if line == ":cache clear" {
-        db.clear_caches();
+        backend.db().clear_caches();
         return Ok(Reply::Text("caches cleared".to_owned()));
     }
     if let Some(arg) = line.strip_prefix(":trace") {
@@ -186,38 +316,30 @@ fn execute(
         }
     }
     if let Some(q) = line.strip_prefix("?certain ") {
-        let w = parse_wff(q, atoms).map_err(|e| e.to_string())?;
-        return Ok(Reply::Text(format!("{}", db.is_certain(&w))));
+        let w = backend.parse_wff(q)?;
+        return Ok(Reply::Text(format!("{}", backend.db().is_certain(&w))));
     }
     if let Some(q) = line.strip_prefix("?possible ") {
-        let w = parse_wff(q, atoms).map_err(|e| e.to_string())?;
-        return Ok(Reply::Text(format!("{}", db.is_possible(&w))));
+        let w = backend.parse_wff(q)?;
+        return Ok(Reply::Text(format!("{}", backend.db().is_possible(&w))));
     }
     if line == "?count" {
+        let n = backend.atoms().len();
         return Ok(Reply::Text(format!(
             "{} possible world(s) over {} atom(s)",
-            db.world_count(atoms.len()),
-            atoms.len()
+            backend.db().world_count(n),
+            n
         )));
     }
     if let Some(rest) = line.strip_prefix(":explain ") {
-        let prog = parse_hlu(rest, atoms).map_err(|e| e.to_string())?;
-        return Ok(Reply::Text(db.explain(&prog).render()));
+        return Ok(Reply::Text(backend.explain(rest)?.render()));
     }
     let is_explain = line.len() >= 7 && line.as_bytes()[..7].eq_ignore_ascii_case(b"explain");
     if line.starts_with('(') || is_explain {
-        match parse_hlu_statement(line, atoms).map_err(|e| e.to_string())? {
-            HluStatement::Explain(prog) => {
-                return Ok(Reply::Text(db.explain(&prog).render()));
-            }
-            HluStatement::Run(prog) => {
-                db.run(&prog);
-                return Ok(Reply::Text(format!(
-                    "ok ({} update(s) run)",
-                    db.updates_run()
-                )));
-            }
-        }
+        return Ok(match backend.run_statement(line)? {
+            Some(explanation) => Reply::Text(explanation.render()),
+            None => Reply::Text(format!("ok ({} update(s) run)", backend.db().updates_run())),
+        });
     }
     Err(format!("unrecognized command: {line}"))
 }

@@ -159,3 +159,55 @@ fn hlu_display_roundtrip() {
         assert_eq!(prog, reparsed);
     }
 }
+
+/// Statement-level round trip over the full testgen program space
+/// (deeply nested wffs with every connective, all statement forms, and
+/// the `EXPLAIN` wrapper). This is the WAL's exactness property: the
+/// durable layer persists statements as `HluStatement` text, so
+/// `parse(print(s)) == s` is load-bearing for crash recovery.
+#[test]
+fn hlu_statement_display_roundtrip() {
+    use pwdb::hlu::{parse_hlu_statement, HluStatement};
+    use pwdb_suite::testgen;
+
+    const N_ATOMS: usize = 6;
+    let mut rng = Rng::new(0xF028);
+    for case in 0..CASES {
+        let prog = testgen::hlu_program(&mut rng, N_ATOMS);
+        let stmt = if rng.coin() {
+            HluStatement::Run(prog)
+        } else {
+            HluStatement::Explain(prog)
+        };
+        let printed = stmt.to_string();
+        let mut t = AtomTable::with_indexed_atoms(N_ATOMS);
+        let reparsed = parse_hlu_statement(&printed, &mut t)
+            .unwrap_or_else(|e| panic!("case {case}: printed {printed:?} failed: {e}"));
+        assert_eq!(stmt, reparsed, "case {case}: {printed}");
+        // Printing is a fixed point: print(parse(print(s))) == print(s).
+        assert_eq!(reparsed.to_string(), printed, "case {case}");
+    }
+}
+
+/// Statement-level grammar soup (HLU tokens plus the EXPLAIN keyword)
+/// must never panic the statement parser.
+#[test]
+fn hlu_statement_parser_never_panics() {
+    use pwdb::hlu::parse_hlu_statement;
+
+    const STMT_TOKENS: [&str; 18] = [
+        "EXPLAIN ", "explain ", "(", ")", "{", "}", "[", "]", "insert", "delete", "assert",
+        "modify", "clear", "where", "A1", " ", "|", "!",
+    ];
+    let mut rng = Rng::new(0xF029);
+    for _ in 0..CASES {
+        let text = grammar_soup(&mut rng, &STMT_TOKENS, 24);
+        let mut t = AtomTable::new();
+        let _ = parse_hlu_statement(&text, &mut t);
+    }
+    for _ in 0..CASES {
+        let input = arbitrary_text(&mut rng);
+        let mut t = AtomTable::new();
+        let _ = parse_hlu_statement(&input, &mut t);
+    }
+}
