@@ -17,7 +17,11 @@
 //!   every counter carries both engine totals;
 //! - a `store_bench` document (from `report_store`) must have a numeric
 //!   `wall_ns` and a decodable `metrics` snapshot per section, and a
-//!   `summary` of numeric headline values.
+//!   `summary` of numeric headline values;
+//! - a `governor_bench` document (from `report_governor`) is checked like
+//!   `store_bench`, and its summary must carry the governor headline
+//!   values (`adversarial_steps_at_abort`, `budget_exceeded_statements`,
+//!   `degraded_reads_served`).
 //!
 //! Exits non-zero with the byte offset on the first failure, so CI can
 //! gate on it.
@@ -125,6 +129,50 @@ fn validate(path: &str) -> Result<String, String> {
         ));
     }
 
+    if let Some(bench) = doc.get("governor_bench") {
+        let Json::Obj(sections) = bench else {
+            return Err("governor_bench is not an object".to_owned());
+        };
+        if sections.is_empty() {
+            return Err("governor_bench is empty".to_owned());
+        }
+        for (name, section) in sections {
+            if section.get("wall_ns").and_then(Json::as_u64).is_none() {
+                return Err(format!("section '{name}' is missing a numeric 'wall_ns'"));
+            }
+            let metrics = section
+                .get("metrics")
+                .ok_or_else(|| format!("section '{name}' is missing 'metrics'"))?;
+            MetricsSnapshot::from_json_value(metrics)
+                .map_err(|e| format!("section '{name}' metrics: {e}"))?;
+        }
+        let summary = doc
+            .get("summary")
+            .ok_or_else(|| "missing 'summary'".to_owned())?;
+        let Json::Obj(values) = summary else {
+            return Err("summary is not an object".to_owned());
+        };
+        for key in [
+            "adversarial_steps_at_abort",
+            "budget_exceeded_statements",
+            "degraded_reads_served",
+        ] {
+            if summary.get(key).and_then(Json::as_u64).is_none() {
+                return Err(format!("summary is missing a numeric '{key}'"));
+            }
+        }
+        for (name, v) in values {
+            if v.as_u64().is_none() {
+                return Err(format!("summary '{name}' is not numeric"));
+            }
+        }
+        return Ok(format!(
+            "{} governor section(s), {} summary value(s)",
+            sections.len(),
+            values.len()
+        ));
+    }
+
     if let Some(experiments) = doc.get("experiments") {
         let Json::Obj(sections) = experiments else {
             return Err("experiments is not an object".to_owned());
@@ -145,7 +193,8 @@ fn validate(path: &str) -> Result<String, String> {
     }
 
     Err(
-        "unrecognized document (no traceEvents, index_comparison, store_bench, or experiments)"
+        "unrecognized document (no traceEvents, index_comparison, store_bench, \
+         governor_bench, or experiments)"
             .to_owned(),
     )
 }

@@ -22,6 +22,7 @@ use std::collections::BTreeSet;
 use std::sync::OnceLock;
 
 use pwdb_logic::cache::MemoCache;
+use pwdb_logic::governor;
 use pwdb_logic::intern::{set_key, ClauseId};
 use pwdb_logic::resolution::{drop_atoms, rclosure_on_atom};
 use pwdb_logic::{AtomId, Clause, ClauseSet, Literal};
@@ -112,6 +113,8 @@ impl BluClausal {
         let mut out = ClauseSet::new();
         for c1 in phi1.iter() {
             for c2 in phi2.iter() {
+                governor::step_n((c1.len() + c2.len()) as u64 + 1);
+                governor::on_live_clauses(out.len() + 1);
                 out.insert(c1.disjoin(c2));
             }
         }
@@ -131,6 +134,8 @@ impl BluClausal {
         for gamma in phi.iter() {
             let mut next = ClauseSet::new();
             for d in delta.iter() {
+                governor::step_n((d.len() * gamma.len().max(1)) as u64 + 1);
+                governor::on_live_clauses(next.len() + gamma.len());
                 for &lambda in gamma.literals() {
                     next.insert(d.disjoin(&Clause::unit(lambda.negated())));
                 }
@@ -188,7 +193,13 @@ impl BluClausal {
     pub fn genmask_paper(phi: &ClauseSet) -> BTreeSet<AtomId> {
         let props: Vec<AtomId> = phi.props().into_iter().collect();
         let k = props.len();
-        assert!(k <= 26, "paper genmask enumerates 2^|Prop| assignments");
+        if k > 26 {
+            // The exhaustive table would need 2^k > 64M rows. Rather than
+            // panic on user-reachable input, decide the same (NP-complete)
+            // dependence question via the SAT strategy — identical result,
+            // Theorem 2.3.9(c).
+            return Self::genmask_sat(phi);
+        }
         // Per clause: bitmasks over prop *positions* for each polarity.
         let position: std::collections::HashMap<AtomId, usize> = props
             .iter()
@@ -212,8 +223,12 @@ impl BluClausal {
                 (pos, neg)
             })
             .collect();
-        // Truth table of Φ over the 2^k complete literal sets.
+        // Truth table of Φ over the 2^k complete literal sets. The full
+        // Θ(2^k · (L + |Prop|)) cost is charged up front as admission
+        // control: a governed run with an insufficient step budget aborts
+        // here before the table is materialized.
         let size = 1usize << k;
+        governor::step_n((size as u64).saturating_mul((phi.len() + k) as u64 + 1));
         counter!("blu.genmask.assignments").add(size as u64);
         let mut truth = vec![false; size];
         for (m, slot) in truth.iter_mut().enumerate() {

@@ -18,7 +18,7 @@
 use std::collections::BTreeSet;
 
 use pwdb_blu::{run_program, BluClausal, BluInstance, BluSemantics, Value};
-use pwdb_logic::{cnf_of, AtomId, ClauseSet, Wff};
+use pwdb_logic::{cnf_of, governor, AtomId, ClauseSet, ExecError, Limits, LogicError, Wff};
 use pwdb_metrics::{counter, timer};
 use pwdb_worlds::{Schema, WorldSet};
 
@@ -39,8 +39,14 @@ pub trait HluBackend: BluSemantics {
     /// Whether the state has at least one possible world.
     fn consistent(&self, state: &Self::State) -> bool;
     /// Number of possible worlds of the state over a universe of
-    /// `n_atoms` atoms.
+    /// `n_atoms` atoms. Panics when the count does not fit a `u64`
+    /// (an unconstrained 64-atom universe); [`HluBackend::try_world_count`]
+    /// is the checked form.
     fn world_count(&self, state: &Self::State, n_atoms: usize) -> u64;
+    /// Checked world count: `u128` so the full `2^64` of an empty
+    /// 64-atom state is representable, `TooManyAtoms` past the packed-
+    /// assignment limit instead of a panic.
+    fn try_world_count(&self, state: &Self::State, n_atoms: usize) -> Result<u128, LogicError>;
 }
 
 impl HluBackend for BluClausal {
@@ -66,6 +72,10 @@ impl HluBackend for BluClausal {
 
     fn world_count(&self, state: &ClauseSet, n_atoms: usize) -> u64 {
         pwdb_logic::count_models(state, n_atoms)
+    }
+
+    fn try_world_count(&self, state: &ClauseSet, n_atoms: usize) -> Result<u128, LogicError> {
+        pwdb_logic::try_count_models(state, n_atoms)
     }
 }
 
@@ -93,6 +103,16 @@ impl HluBackend for BluInstance {
     fn world_count(&self, state: &WorldSet, n_atoms: usize) -> u64 {
         assert_eq!(n_atoms, state.n_atoms(), "universe mismatch");
         state.len() as u64
+    }
+
+    fn try_world_count(&self, state: &WorldSet, n_atoms: usize) -> Result<u128, LogicError> {
+        if n_atoms != state.n_atoms() {
+            return Err(LogicError::TooManyAtoms {
+                requested: n_atoms,
+                max: state.n_atoms(),
+            });
+        }
+        Ok(state.len() as u128)
     }
 }
 
@@ -316,27 +336,7 @@ impl<B: HluBackend> Database<B> {
     pub fn explain(&mut self, prog: &HluProgram) -> Explanation {
         let compiled = compile(prog);
         let ((), trace) = pwdb_trace::capture(|| self.run(prog));
-        Explanation {
-            statement: prog.to_string(),
-            compiled: compiled.program.to_string(),
-            args: compiled
-                .args
-                .iter()
-                .enumerate()
-                .map(|(i, a)| {
-                    let value = match a {
-                        ArgValue::State(w) => w.to_string(),
-                        ArgValue::Mask(m) => {
-                            let names: Vec<String> =
-                                m.iter().map(|a| format!("A{}", a.index() + 1)).collect();
-                            format!("[{}]", names.join(" "))
-                        }
-                    };
-                    format!("s{} = {value}", i + 1)
-                })
-                .collect(),
-            trace,
-        }
+        explanation_of(prog, &compiled, trace)
     }
 
     /// Whether any possible world remains.
@@ -399,6 +399,98 @@ impl<B: HluBackend> Database<B> {
         }
         keep
     }
+
+    /// Checked [`Database::world_count`]: `u128`, and a typed
+    /// [`LogicError::TooManyAtoms`] past the 64-atom packed-assignment
+    /// limit instead of a panic.
+    pub fn try_world_count(&self, n_atoms: usize) -> Result<u128, LogicError> {
+        self.backend.try_world_count(&self.state, n_atoms)
+    }
+
+    /// Runs one statement under resource `limits`, transactionally.
+    ///
+    /// The statement executes with the execution governor installed: every
+    /// unbounded worklist in the clausal engine (saturation, Tison's
+    /// closure, DPLL, subsumption merges, genmask's truth table) charges
+    /// steps against the budget and aborts by unwinding when it is
+    /// exhausted, when the attached [`CancelToken`](pwdb_logic::CancelToken)
+    /// fires, or when the engine panics. On **any** failure — budget,
+    /// cancellation, engine panic, or the §1.3.3 consistency rejection —
+    /// the database rolls back to its pre-statement savepoint
+    /// bit-identically: state, update count, and history are exactly as
+    /// before the call.
+    pub fn run_governed(
+        &mut self,
+        prog: &HluProgram,
+        limits: &Limits,
+    ) -> Result<(), GovernedError> {
+        counter!("governor.stmt.total").inc();
+        let sp = pwdb_trace::span!("governor.stmt");
+        let saved = self.savepoint();
+        let result = {
+            let this = &mut *self;
+            pwdb_logic::govern(limits, move || {
+                this.run(prog);
+                this.backend.consistent(&this.state)
+            })
+        };
+        sp.attr("steps", governor::last_spent());
+        match result {
+            Ok(true) => {
+                counter!("governor.stmt.committed").inc();
+                sp.attr("outcome", "committed");
+                Ok(())
+            }
+            Ok(false) => {
+                self.rollback_to(saved);
+                counter!("governor.stmt.rejected").inc();
+                sp.attr("outcome", "rejected");
+                Err(GovernedError::Rejected)
+            }
+            Err(e) => {
+                self.rollback_to(saved);
+                match &e {
+                    ExecError::BudgetExceeded { .. } => {
+                        counter!("governor.stmt.budget_exceeded").inc()
+                    }
+                    ExecError::Cancelled => counter!("governor.stmt.cancelled").inc(),
+                    ExecError::EnginePanic { .. } => counter!("governor.stmt.panicked").inc(),
+                }
+                sp.attr("outcome", governed_outcome(&e));
+                Err(GovernedError::Exec(e))
+            }
+        }
+    }
+
+    /// `EXPLAIN` under limits: runs the statement exactly as
+    /// [`Database::run_governed`] (including rollback on failure) while
+    /// recording the execution trace. Returns the explanation — whose
+    /// `outcome` names what happened — together with the governed result,
+    /// so a budget-exceeded EXPLAIN still shows how far execution got.
+    pub fn explain_governed(
+        &mut self,
+        prog: &HluProgram,
+        limits: &Limits,
+    ) -> (Explanation, Result<(), GovernedError>) {
+        let compiled = compile(prog);
+        let (result, trace) = pwdb_trace::capture(|| self.run_governed(prog, limits));
+        let outcome = match &result {
+            Ok(()) => "committed".to_owned(),
+            Err(e) => e.to_string(),
+        };
+        let mut exp = explanation_of(prog, &compiled, trace);
+        exp.outcome = Some(outcome);
+        (exp, result)
+    }
+}
+
+/// The static span-attribute label for a governed failure.
+fn governed_outcome(e: &ExecError) -> &'static str {
+    match e {
+        ExecError::BudgetExceeded { .. } => "budget-exceeded",
+        ExecError::Cancelled => "cancelled",
+        ExecError::EnginePanic { .. } => "engine-panic",
+    }
 }
 
 /// The per-variant statement counter for [`Database::run`].
@@ -428,6 +520,37 @@ fn stmt_span_name(prog: &HluProgram) -> &'static str {
     }
 }
 
+/// Builds the rendered [`Explanation`] skeleton shared by
+/// [`Database::explain`] and [`Database::explain_governed`].
+fn explanation_of(
+    prog: &HluProgram,
+    compiled: &crate::compile::Compiled,
+    trace: pwdb_trace::Trace,
+) -> Explanation {
+    Explanation {
+        statement: prog.to_string(),
+        compiled: compiled.program.to_string(),
+        args: compiled
+            .args
+            .iter()
+            .enumerate()
+            .map(|(i, a)| {
+                let value = match a {
+                    ArgValue::State(w) => w.to_string(),
+                    ArgValue::Mask(m) => {
+                        let names: Vec<String> =
+                            m.iter().map(|a| format!("A{}", a.index() + 1)).collect();
+                        format!("[{}]", names.join(" "))
+                    }
+                };
+                format!("s{} = {value}", i + 1)
+            })
+            .collect(),
+        trace,
+        outcome: None,
+    }
+}
+
 /// The result of [`Database::explain`]: the statement, its BLU
 /// compilation, the parameter bindings, and the recorded execution trace.
 #[derive(Debug, Clone)]
@@ -440,6 +563,10 @@ pub struct Explanation {
     pub args: Vec<String>,
     /// The recorded span tree (empty in a no-op build).
     pub trace: pwdb_trace::Trace,
+    /// Governed runs record what happened — `"committed"` or the error
+    /// rendering (budget exceeded, cancelled, rejected, engine panic).
+    /// `None` for ungoverned [`Database::explain`].
+    pub outcome: Option<String>,
 }
 
 impl Explanation {
@@ -451,6 +578,9 @@ impl Explanation {
         for a in &self.args {
             out.push_str(&format!("  with {a}\n"));
         }
+        if let Some(outcome) = &self.outcome {
+            out.push_str(&format!("outcome:   {outcome}\n"));
+        }
         out.push_str("trace:\n");
         out.push_str(&self.trace.render_tree());
         out
@@ -460,6 +590,34 @@ impl Explanation {
 impl std::fmt::Display for Explanation {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.write_str(&self.render())
+    }
+}
+
+/// Why a [`Database::run_governed`] statement did not commit. In every
+/// case the database was rolled back to its pre-statement savepoint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GovernedError {
+    /// The governor aborted execution: budget exhausted, cancel token
+    /// fired, or the engine panicked (isolated by `catch_unwind`).
+    Exec(ExecError),
+    /// The §1.3.3 consistency check rejected the result.
+    Rejected,
+}
+
+impl std::fmt::Display for GovernedError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GovernedError::Exec(e) => e.fmt(f),
+            GovernedError::Rejected => UpdateRejected.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for GovernedError {}
+
+impl From<ExecError> for GovernedError {
+    fn from(e: ExecError) -> Self {
+        GovernedError::Exec(e)
     }
 }
 
@@ -807,5 +965,100 @@ mod tests {
         let mut db = ClausalDatabase::new();
         db.set_state(pwdb_logic::ClauseSet::contradiction());
         assert!(!db.is_consistent());
+    }
+
+    #[test]
+    fn run_governed_commits_within_budget() {
+        let mut db = ClausalDatabase::new();
+        let limits = Limits::budget(pwdb_logic::Budget::steps(1_000_000));
+        db.run_governed(&HluProgram::Insert(wff(2, "A1 | A2")), &limits)
+            .unwrap();
+        assert!(db.is_certain(&wff(2, "A1 | A2")));
+        assert_eq!(db.updates_run(), 1);
+        assert_eq!(db.history().len(), 1);
+    }
+
+    #[test]
+    fn run_governed_rolls_back_on_budget_exhaustion() {
+        let mut db = ClausalDatabase::new();
+        db.insert(wff(3, "A1 | A2"));
+        let before_state = db.state().clone();
+        let before_hist = db.history().to_vec();
+        // A budget of one step cannot even insert the parameter.
+        let limits = Limits::budget(pwdb_logic::Budget::steps(1));
+        let err = db
+            .run_governed(&HluProgram::Insert(wff(3, "A2 | A3")), &limits)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            GovernedError::Exec(ExecError::BudgetExceeded {
+                resource: pwdb_logic::Resource::Steps,
+                ..
+            })
+        ));
+        assert_eq!(db.state(), &before_state);
+        assert_eq!(db.history(), &before_hist[..]);
+        assert_eq!(db.updates_run(), 1);
+    }
+
+    #[test]
+    fn run_governed_rejects_inconsistency_transactionally() {
+        let mut db = ClausalDatabase::new();
+        db.insert(wff(1, "A1"));
+        let before = db.state().clone();
+        let limits = Limits::budget(pwdb_logic::Budget::steps(1_000_000));
+        let err = db
+            .run_governed(&HluProgram::Assert(wff(1, "!A1")), &limits)
+            .unwrap_err();
+        assert_eq!(err, GovernedError::Rejected);
+        assert_eq!(db.state(), &before);
+        assert_eq!(db.updates_run(), 1);
+    }
+
+    #[test]
+    fn run_governed_cancelled_token_short_circuits() {
+        let mut db = ClausalDatabase::new();
+        let token = pwdb_logic::CancelToken::new();
+        token.cancel();
+        let limits = Limits::unlimited().with_cancel(token);
+        let err = db
+            .run_governed(&HluProgram::Insert(wff(1, "A1")), &limits)
+            .unwrap_err();
+        assert_eq!(err, GovernedError::Exec(ExecError::Cancelled));
+        assert_eq!(db.updates_run(), 0);
+    }
+
+    #[test]
+    fn explain_governed_records_outcome_both_ways() {
+        let mut db = ClausalDatabase::new();
+        let ok_limits = Limits::budget(pwdb_logic::Budget::steps(1_000_000));
+        let (exp, result) = db.explain_governed(&HluProgram::Insert(wff(2, "A1")), &ok_limits);
+        assert!(result.is_ok());
+        assert_eq!(exp.outcome.as_deref(), Some("committed"));
+
+        let tight = Limits::budget(pwdb_logic::Budget::steps(1));
+        let before = db.state().clone();
+        let (exp, result) = db.explain_governed(&HluProgram::Insert(wff(2, "A2")), &tight);
+        assert!(result.is_err());
+        assert!(exp.render().contains("outcome:"), "render shows outcome");
+        let outcome = exp.outcome.unwrap();
+        assert!(outcome.contains("budget exceeded"), "{outcome}");
+        assert_eq!(db.state(), &before);
+    }
+
+    #[test]
+    fn try_world_count_boundary() {
+        let db = ClausalDatabase::new();
+        assert_eq!(db.try_world_count(64).unwrap(), 1u128 << 64);
+        assert!(matches!(
+            db.try_world_count(65),
+            Err(LogicError::TooManyAtoms {
+                requested: 65,
+                max: 64
+            })
+        ));
+        let idb = InstanceDatabase::with_atoms(4);
+        assert_eq!(idb.try_world_count(4).unwrap(), 16);
+        assert!(idb.try_world_count(5).is_err());
     }
 }

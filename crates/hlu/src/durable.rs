@@ -31,12 +31,12 @@ use std::fmt;
 use std::io;
 use std::path::{Path, PathBuf};
 
-use pwdb_logic::{AtomId, AtomTable, LogicError};
+use pwdb_logic::{AtomId, AtomTable, ExecError, Limits, LogicError};
 use pwdb_metrics::counter;
-use pwdb_store::{Record, SnapshotData, Store, StoreStats};
+use pwdb_store::{Record, RetryPolicy, SnapshotData, Store, StoreError, StoreStats, WriteFaults};
 
 use crate::ast::HluProgram;
-use crate::database::{ClausalDatabase, Explanation, UpdateRejected};
+use crate::database::{ClausalDatabase, Explanation, GovernedError, UpdateRejected};
 use crate::parser::{parse_hlu, parse_hlu_statement, HluStatement};
 
 /// Failures of the durable layer.
@@ -53,6 +53,13 @@ pub enum DurableError {
     /// The update was rejected by the §1.3.3 consistency check and was
     /// not logged.
     Rejected,
+    /// The execution governor aborted the statement (budget exhausted,
+    /// cancelled, or engine panic); nothing was logged and the in-memory
+    /// state was rolled back.
+    Exec(ExecError),
+    /// The store is in degraded read-only mode after persistent write
+    /// failures: queries are still answered, updates are refused.
+    ReadOnly { reason: String },
 }
 
 impl fmt::Display for DurableError {
@@ -62,6 +69,10 @@ impl fmt::Display for DurableError {
             DurableError::Parse(e) => write!(f, "{e}"),
             DurableError::Corrupt(m) => write!(f, "store corrupt: {m}"),
             DurableError::Rejected => UpdateRejected.fmt(f),
+            DurableError::Exec(e) => e.fmt(f),
+            DurableError::ReadOnly { reason } => {
+                write!(f, "store is read-only (degraded): {reason}")
+            }
         }
     }
 }
@@ -77,6 +88,24 @@ impl From<io::Error> for DurableError {
 impl From<LogicError> for DurableError {
     fn from(e: LogicError) -> Self {
         DurableError::Parse(e)
+    }
+}
+
+impl From<GovernedError> for DurableError {
+    fn from(e: GovernedError) -> Self {
+        match e {
+            GovernedError::Exec(e) => DurableError::Exec(e),
+            GovernedError::Rejected => DurableError::Rejected,
+        }
+    }
+}
+
+impl From<StoreError> for DurableError {
+    fn from(e: StoreError) -> Self {
+        match e {
+            StoreError::Io(e) => DurableError::Io(e),
+            StoreError::ReadOnly { reason } => DurableError::ReadOnly { reason },
+        }
     }
 }
 
@@ -220,6 +249,28 @@ impl DurableDatabase {
         self.store.stats()
     }
 
+    /// Installs a plan of injected write faults on the underlying store
+    /// (steady-state fault-tolerance tests).
+    pub fn inject_write_faults(&mut self, faults: WriteFaults) {
+        self.store.inject_write_faults(faults);
+    }
+
+    /// Configures the store's write-path retry budget.
+    pub fn set_retry_policy(&mut self, retry: RetryPolicy) {
+        self.store.set_retry_policy(retry);
+    }
+
+    /// Whether persistent write faults have driven the store read-only.
+    /// Queries keep working; updates return [`DurableError::ReadOnly`].
+    pub fn is_degraded(&self) -> bool {
+        self.store.is_degraded()
+    }
+
+    /// Why the store is degraded, if it is.
+    pub fn degraded_reason(&self) -> Option<&str> {
+        self.store.degraded_reason()
+    }
+
     /// The storage directory.
     pub fn dir(&self) -> &Path {
         self.store.dir()
@@ -250,6 +301,71 @@ impl DurableDatabase {
         Ok(())
     }
 
+    /// Runs one statement under resource `limits`, durably and
+    /// transactionally. Evaluation order is memory-first: the statement
+    /// executes through [`crate::database::Database::run_governed`] — so on
+    /// budget exhaustion, cancellation, engine panic, or the §1.3.3
+    /// rejection the in-memory state rolls back bit-identically and the
+    /// WAL **never sees the failed statement**. Only a committed in-memory
+    /// result is logged; if logging itself fails (I/O fault, degraded
+    /// store), memory is rolled back too, so it never runs ahead of the
+    /// log.
+    pub fn run_governed(&mut self, prog: &HluProgram, limits: &Limits) -> Result<(), DurableError> {
+        let saved = self.db.savepoint();
+        self.db.run_governed(prog, limits)?;
+        if let Err(e) = self.log_statement(prog) {
+            self.db.rollback_to(saved);
+            return Err(e);
+        }
+        Ok(())
+    }
+
+    /// `EXPLAIN` under limits, durably: runs exactly as
+    /// [`DurableDatabase::run_governed`] (memory-first, log on commit,
+    /// rollback on any failure) while recording the trace. The returned
+    /// explanation's `outcome` names what happened even when the governed
+    /// result is an error.
+    pub fn explain_governed(
+        &mut self,
+        prog: &HluProgram,
+        limits: &Limits,
+    ) -> (Explanation, Result<(), DurableError>) {
+        let saved = self.db.savepoint();
+        let (mut exp, result) = self.db.explain_governed(prog, limits);
+        let result = match result {
+            Ok(()) => {
+                if let Err(e) = self.log_statement(prog) {
+                    self.db.rollback_to(saved);
+                    exp.outcome = Some(e.to_string());
+                    Err(e)
+                } else {
+                    Ok(())
+                }
+            }
+            Err(e) => Err(DurableError::from(e)),
+        };
+        (exp, result)
+    }
+
+    /// Parses and runs one shell-level statement under `limits`, like
+    /// [`DurableDatabase::run_statement`] but governed. `EXPLAIN` wrappers
+    /// return the trace (with a recorded outcome) alongside the governed
+    /// result.
+    pub fn run_statement_governed(
+        &mut self,
+        text: &str,
+        limits: &Limits,
+    ) -> (Option<Explanation>, Result<(), DurableError>) {
+        match parse_hlu_statement(text, &mut self.atoms) {
+            Ok(HluStatement::Run(prog)) => (None, self.run_governed(&prog, limits)),
+            Ok(HluStatement::Explain(prog)) => {
+                let (exp, result) = self.explain_governed(&prog, limits);
+                (Some(exp), result)
+            }
+            Err(e) => (None, Err(DurableError::from(e))),
+        }
+    }
+
     /// Parses and executes one shell-level statement. `EXPLAIN` wrappers
     /// return the trace; the update is logged and applied either way.
     pub fn run_statement(&mut self, text: &str) -> Result<Option<Explanation>, DurableError> {
@@ -276,8 +392,18 @@ impl DurableDatabase {
     pub fn checkpoint(&mut self) -> Result<(PathBuf, u64), DurableError> {
         // Atoms interned since the last commit (e.g. by queries) must hit
         // the log first: the WAL is the single source of truth for the
-        // name table, under any snapshot ∘ suffix combination.
-        self.log_new_atoms()?;
+        // name table, under any snapshot ∘ suffix combination. They are
+        // committed *before* the snapshot write so that a snapshot failure
+        // cannot strand the atom watermark ahead of the log.
+        let watermark = self.persisted_atoms;
+        if let Err(e) = self
+            .log_new_atoms()
+            .and_then(|()| self.store.commit().map_err(DurableError::from))
+        {
+            self.persisted_atoms = watermark;
+            let _ = self.store.discard_pending();
+            return Err(e);
+        }
         let data = SnapshotData {
             wal_records: self.store.records(),
             updates_run: self.db.updates_run() as u64,
@@ -287,7 +413,11 @@ impl DurableDatabase {
     }
 
     /// Appends `A` records for atoms not yet durable, validating that
-    /// their names survive the textual round trip.
+    /// their names survive the textual round trip. The records are only
+    /// *buffered*; `persisted_atoms` advances optimistically and the
+    /// caller must restore it if the enclosing commit fails (the store
+    /// discards pending records on failure, so the atoms were never made
+    /// durable).
     fn log_new_atoms(&mut self) -> Result<(), DurableError> {
         for i in self.persisted_atoms..self.atoms.len() {
             let name = self
@@ -308,15 +438,29 @@ impl DurableDatabase {
     }
 
     /// WAL append + fsync for one statement (the write path's first two
-    /// steps). The caller applies the program afterwards.
+    /// steps). The caller applies the program afterwards. On failure the
+    /// store has discarded everything buffered, so the atom watermark is
+    /// rolled back with it: nothing of the failed statement — neither its
+    /// `A` records nor its `S` record — is in the log.
     fn log_statement(&mut self, prog: &HluProgram) -> Result<(), DurableError> {
         let _sp = pwdb_trace::span!("store.durable.commit");
+        let atoms_watermark = self.persisted_atoms;
         self.ensure_named(prog)?;
-        self.log_new_atoms()?;
-        let text = prog.display(&self.atoms).to_string();
-        self.store.append(&Record::Stmt(text))?;
-        self.store.commit()?;
-        Ok(())
+        let result = (|| -> Result<(), DurableError> {
+            self.log_new_atoms()?;
+            let text = prog.display(&self.atoms).to_string();
+            self.store.append(&Record::Stmt(text))?;
+            self.store.commit()?;
+            Ok(())
+        })();
+        if result.is_err() {
+            self.persisted_atoms = atoms_watermark;
+            // Records buffered before the failure (e.g. `A` records ahead
+            // of a refused name, or everything when the commit itself
+            // failed) must not leak into a later statement's commit.
+            let _ = self.store.discard_pending();
+        }
+        result
     }
 
     /// Guarantees every atom `prog` references has a name, extending the

@@ -20,6 +20,11 @@
 //! packages the result behind an ergonomic stateful API with both the
 //! clausal and the possible-worlds backend.
 
+// User-reachable paths must fail with typed errors, not panics; `unwrap`
+// is reserved for internal invariants (and must carry an `expect`
+// message or a module-local allow explaining why it cannot fire).
+#![warn(clippy::unwrap_used)]
+
 pub mod ast;
 pub mod compile;
 pub mod database;
@@ -29,7 +34,8 @@ pub mod parser;
 pub use ast::HluProgram;
 pub use compile::{compile, ArgValue, Compiled};
 pub use database::{
-    ClausalDatabase, Database, Explanation, HluBackend, InstanceDatabase, Savepoint, UpdateRejected,
+    ClausalDatabase, Database, Explanation, GovernedError, HluBackend, InstanceDatabase, Savepoint,
+    UpdateRejected,
 };
 pub use durable::{DurableDatabase, DurableError, RecoveryReport};
 pub use parser::{parse_hlu, parse_hlu_script, parse_hlu_statement, HluStatement};

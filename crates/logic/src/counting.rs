@@ -12,13 +12,42 @@ use pwdb_metrics::counter;
 
 use crate::atom::AtomId;
 use crate::clause_set::ClauseSet;
+use crate::error::LogicError;
 use crate::literal::Literal;
+use crate::truth::MAX_ATOMS;
 
 /// Counts the models of `set` over the universe of atoms `0..n_atoms`.
 ///
 /// Atoms beyond the set's own letters contribute a factor of two each.
-/// Panics if `n_atoms` is smaller than the set's atom bound.
+/// Panics if `n_atoms` is smaller than the set's atom bound or exceeds
+/// [`MAX_ATOMS`], or if the count exceeds `u64::MAX` (only possible for
+/// the empty constraint set at exactly 64 atoms, whose 2^64 worlds do
+/// not fit a `u64`). Use [`try_count_models`] for the checked form that
+/// fires [`LogicError::TooManyAtoms`] instead.
 pub fn count_models(set: &ClauseSet, n_atoms: usize) -> u64 {
+    assert!(
+        n_atoms >= set.atom_bound(),
+        "universe smaller than the clause set's atoms"
+    );
+    let n = try_count_models(set, n_atoms).expect("count_models universe within MAX_ATOMS");
+    u64::try_from(n).expect("model count exceeds u64 (2^64 worlds); use try_count_models")
+}
+
+/// Checked model count over `0..n_atoms`, as a `u128` so that the full
+/// `2^64` world count of an unconstrained 64-atom universe is exactly
+/// representable (the unchecked [`count_models`] silently truncated it
+/// before this entry point existed).
+///
+/// Returns [`LogicError::TooManyAtoms`] when `n_atoms` exceeds
+/// [`MAX_ATOMS`], and still panics if `n_atoms` is smaller than the
+/// set's own atom bound (caller bug, not input-dependent).
+pub fn try_count_models(set: &ClauseSet, n_atoms: usize) -> crate::error::Result<u128> {
+    if n_atoms > MAX_ATOMS {
+        return Err(LogicError::TooManyAtoms {
+            requested: n_atoms,
+            max: MAX_ATOMS,
+        });
+    }
     assert!(
         n_atoms >= set.atom_bound(),
         "universe smaller than the clause set's atoms"
@@ -29,16 +58,17 @@ pub fn count_models(set: &ClauseSet, n_atoms: usize) -> u64 {
         .map(|c| c.literals().to_vec())
         .collect();
     if clauses.iter().any(Vec::is_empty) {
-        return 0;
+        return Ok(0);
     }
     let mut values: Vec<Option<bool>> = vec![None; n_atoms];
-    count(&clauses, &mut values)
+    Ok(count(&clauses, &mut values))
 }
 
 /// Recursive counter: returns the number of total extensions of the
 /// current partial assignment satisfying all clauses.
-fn count(clauses: &[Vec<Literal>], values: &mut Vec<Option<bool>>) -> u64 {
+fn count(clauses: &[Vec<Literal>], values: &mut Vec<Option<bool>>) -> u128 {
     counter!("logic.counting.recursive_calls").inc();
+    crate::governor::step_n(clauses.len() as u64 + 1);
     // Unit propagation; propagated atoms are recorded for backtracking.
     let mut trail: Vec<usize> = Vec::new();
     loop {
@@ -115,9 +145,12 @@ fn count(clauses: &[Vec<Literal>], values: &mut Vec<Option<bool>>) -> u64 {
     }
 
     let result = if !any_open {
-        // All clauses satisfied: the unassigned atoms are free.
+        // All clauses satisfied: the unassigned atoms are free. The
+        // shift is in u128: at `free == 64` (empty set over the full
+        // 64-atom universe) `1u64 << 64` would wrap to 1 in release
+        // builds — the silent-truncation bug this widening fixes.
         let free = values.iter().filter(|v| v.is_none()).count();
-        1u64 << free
+        1u128 << free
     } else {
         let atom = branch.expect("open clause has an open literal");
         let idx = atom.index();
@@ -198,6 +231,37 @@ mod tests {
         let s = parse_clause_set("{!A1 | A2, !A2 | A3}", &mut t).unwrap();
         assert_eq!(count_models(&s, 3), brute(&s, 3));
         assert_eq!(count_models(&s, 3), 4);
+    }
+
+    #[test]
+    fn boundary_63_64_65_atoms() {
+        assert_eq!(
+            try_count_models(&ClauseSet::new(), 63).unwrap(),
+            1u128 << 63
+        );
+        assert_eq!(
+            try_count_models(&ClauseSet::new(), 64).unwrap(),
+            1u128 << 64
+        );
+        assert_eq!(
+            try_count_models(&ClauseSet::new(), 65),
+            Err(LogicError::TooManyAtoms {
+                requested: 65,
+                max: 64
+            })
+        );
+        // One unit clause at the 64-atom edge fits u64 again.
+        let mut t = AtomTable::with_indexed_atoms(64);
+        let s = parse_clause_set("{A64}", &mut t).unwrap();
+        assert_eq!(try_count_models(&s, 64).unwrap(), 1u128 << 63);
+        assert_eq!(count_models(&s, 64), 1u64 << 63);
+        assert_eq!(count_models(&ClauseSet::new(), 63), 1u64 << 63);
+    }
+
+    #[test]
+    #[should_panic(expected = "model count exceeds u64")]
+    fn unchecked_count_panics_instead_of_truncating_at_2_pow_64() {
+        let _ = count_models(&ClauseSet::new(), 64);
     }
 
     #[test]

@@ -148,8 +148,10 @@ impl Solver {
     }
 
     fn dpll(&self, values: &mut Vec<Option<bool>>, stats: &mut DpllStats) -> bool {
-        // Unit propagation to fixpoint.
+        // Unit propagation to fixpoint. Each round (and each search
+        // node) charges one step per clause scanned.
         loop {
+            crate::governor::step_n(self.clauses.len() as u64 + 1);
             let mut changed = false;
             for clause in &self.clauses {
                 match Self::clause_state(clause, values) {

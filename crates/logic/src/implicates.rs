@@ -95,6 +95,7 @@ fn prime_implicates_indexed(set: &ClauseSet) -> ClauseSet {
                         continue;
                     };
                     counter!("logic.resolution.pairs_tried").inc();
+                    crate::governor::step_n((c.len() + d.len()) as u64 + 1);
                     if let Some(r) = resolvent(&c, &d, atom) {
                         if !r.is_tautology() && idx.insert_with_subsumption(r.clone()) {
                             if let Some(s) = idx.slot_of(&r) {
@@ -110,6 +111,7 @@ fn prime_implicates_indexed(set: &ClauseSet) -> ClauseSet {
                         continue;
                     };
                     counter!("logic.resolution.pairs_tried").inc();
+                    crate::governor::step_n((c.len() + d.len()) as u64 + 1);
                     if let Some(r) = resolvent(&d, &c, atom) {
                         if !r.is_tautology() && idx.insert_with_subsumption(r.clone()) {
                             if let Some(s) = idx.slot_of(&r) {

@@ -29,6 +29,7 @@ use pwdb_metrics::counter;
 
 use crate::clause::Clause;
 use crate::clause_set::ClauseSet;
+use crate::governor;
 use crate::literal::Literal;
 
 /// The 64-bit Bloom signature of a clause: one hashed bit per literal.
@@ -136,6 +137,8 @@ impl IndexedClauseSet {
             return None;
         }
         let slot = u32::try_from(self.slots.len()).expect("slot overflow");
+        governor::step_n(clause.len() as u64 + 1);
+        governor::on_live_clauses(self.len + 1);
         let sig = signature(&clause);
         for &l in clause.literals() {
             self.occ.entry(l).or_default().push(slot);
@@ -195,6 +198,7 @@ impl IndexedClauseSet {
                 let Some((cand, cand_sig)) = self.live(slot) else {
                     continue;
                 };
+                governor::step();
                 if cand.literals().first() != Some(&l) || cand.len() > clause.len() {
                     continue;
                 }
@@ -202,6 +206,7 @@ impl IndexedClauseSet {
                     counter!("logic.index.sig_prunes").inc();
                     continue;
                 }
+                governor::step_n(cand.len() as u64);
                 if cand.subsumes(clause) {
                     return true;
                 }
@@ -237,6 +242,7 @@ impl IndexedClauseSet {
             let Some((cand, cand_sig)) = self.live(slot) else {
                 continue;
             };
+            governor::step_n(clause.len() as u64 + 1);
             if cand.len() <= clause.len() {
                 // Equal-length distinct clauses never subsume; the equal
                 // clause itself is never live here (duplicates are

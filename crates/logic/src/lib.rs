@@ -41,6 +41,7 @@ pub mod counting;
 pub mod dpll;
 pub mod engine;
 pub mod error;
+pub mod governor;
 pub mod implicates;
 pub mod index;
 pub mod intern;
@@ -50,6 +51,7 @@ pub mod reference;
 pub mod resolution;
 pub mod rng;
 pub mod semantics;
+pub mod stress;
 pub mod subsumption;
 pub mod truth;
 pub mod wff;
@@ -59,10 +61,11 @@ pub use cache::{CacheStats, MemoCache};
 pub use clause::Clause;
 pub use clause_set::ClauseSet;
 pub use cnf::{clauses_to_wff, cnf_of};
-pub use counting::count_models;
+pub use counting::{count_models, try_count_models};
 pub use dpll::{entails, entails_clauses, equivalent, is_satisfiable, Solver};
 pub use engine::{engine_mode, set_engine_mode, with_engine, EngineMode};
 pub use error::{LogicError, Result};
+pub use governor::{govern, Budget, CancelToken, ExecError, Limits, Resource};
 pub use implicates::{is_implicate, is_prime_implicate, prime_implicates};
 pub use index::IndexedClauseSet;
 pub use intern::ClauseId;
@@ -70,5 +73,5 @@ pub use literal::Literal;
 pub use parser::{parse_clause, parse_clause_set, parse_wff};
 pub use rng::Rng;
 pub use semantics::{dep, models, sat, theory_contains};
-pub use truth::Assignment;
+pub use truth::{Assignment, MAX_ATOMS};
 pub use wff::Wff;

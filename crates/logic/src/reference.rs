@@ -21,6 +21,7 @@ use pwdb_metrics::counter;
 use crate::atom::AtomId;
 use crate::clause::Clause;
 use crate::clause_set::ClauseSet;
+use crate::governor;
 use crate::resolution::resolvent;
 
 /// Naive `reduce_subsumed`: for each member, scan every other remaining
@@ -33,7 +34,10 @@ pub fn reduce_subsumed(set: &mut ClauseSet) -> usize {
             continue;
         }
         // A clause is removed if some *other* remaining clause subsumes it.
-        let subsumed = set.iter().any(|other| other != c && other.subsumes(c));
+        let subsumed = set.iter().any(|other| {
+            governor::step_n(other.len() as u64 + 1);
+            other != c && other.subsumes(c)
+        });
         if subsumed {
             set.remove(c);
             dropped += 1;
@@ -51,15 +55,27 @@ pub fn insert_with_subsumption(set: &mut ClauseSet, clause: Clause) -> bool {
     if set.contains(&clause) {
         return false;
     }
-    if set.iter().any(|c| c.subsumes(&clause)) {
+    let forward_subsumed = set.iter().any(|c| {
+        governor::step_n(c.len() as u64 + 1);
+        c.subsumes(&clause)
+    });
+    if forward_subsumed {
         counter!("logic.subsumption.forward_hits").inc();
         return false;
     }
-    let doomed: Vec<Clause> = set.iter().filter(|c| clause.subsumes(c)).cloned().collect();
+    let doomed: Vec<Clause> = set
+        .iter()
+        .filter(|c| {
+            governor::step_n(clause.len() as u64 + 1);
+            clause.subsumes(c)
+        })
+        .cloned()
+        .collect();
     counter!("logic.subsumption.backward_hits").add(doomed.len() as u64);
     for c in &doomed {
         set.remove(c);
     }
+    governor::on_live_clauses(set.len() + 1);
     set.insert(clause)
 }
 
@@ -89,14 +105,20 @@ pub fn saturate(set: &ClauseSet) -> ClauseSet {
             for p in &pos_side {
                 for n in &neg_side {
                     counter!("logic.resolution.pairs_tried").inc();
+                    governor::step_n((p.len() + n.len()) as u64 + 1);
                     if let Some(r) = resolvent(p, n, a) {
                         if r.is_tautology() {
                             continue;
                         }
                         // Skip resolvents already subsumed by a member.
-                        if current.iter().any(|c| c.subsumes(&r)) {
+                        let skip = current.iter().any(|c| {
+                            governor::step_n(c.len() as u64 + 1);
+                            c.subsumes(&r)
+                        });
+                        if skip {
                             continue;
                         }
+                        governor::on_live_clauses(current.len() + 1);
                         current.insert(r);
                         added = true;
                     }
@@ -127,6 +149,7 @@ pub fn prime_implicates(set: &ClauseSet) -> ClauseSet {
                 for c2 in &snapshot[..i] {
                     for (a, b) in [(c1, c2), (c2, c1)] {
                         counter!("logic.resolution.pairs_tried").inc();
+                        governor::step_n((a.len() + b.len()) as u64 + 1);
                         if let Some(r) = resolvent(a, b, atom) {
                             if !r.is_tautology() && insert_with_subsumption(&mut current, r) {
                                 added = true;

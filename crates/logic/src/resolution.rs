@@ -14,6 +14,7 @@ use pwdb_trace::span;
 use crate::atom::AtomId;
 use crate::clause::Clause;
 use crate::clause_set::ClauseSet;
+use crate::governor;
 use crate::literal::Literal;
 
 /// The paper's `Resolvent(φ₁, φ₂, A)`: requires `A ∈ φ₁` and `¬A ∈ φ₂`
@@ -41,7 +42,9 @@ pub fn rclosure_on_atom(set: &ClauseSet, atom: AtomId) -> ClauseSet {
     let (pos_side, neg_side) = set.split_on(atom);
     for p in &pos_side {
         for n in &neg_side {
+            governor::step_n((p.len() + n.len()) as u64 + 1);
             if let Some(r) = resolvent(p, n, atom) {
+                governor::on_live_clauses(out.len() + 1);
                 out.insert(r);
             }
         }
@@ -119,6 +122,7 @@ fn saturate_indexed(set: &ClauseSet) -> ClauseSet {
                     continue;
                 };
                 counter!("logic.resolution.pairs_tried").inc();
+                governor::step_n((c.len() + d.len()) as u64 + 1);
                 let r = if lit.is_positive() {
                     resolvent(&c, &d, lit.atom())
                 } else {

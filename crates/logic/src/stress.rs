@@ -1,0 +1,90 @@
+//! Adversarial formula families for governor and worst-case testing.
+//!
+//! The paper is explicit that the clausal primitives are worst-case
+//! exponential (§2.3.6 for `mask`, Theorem 2.3.9 for dependence); this
+//! module constructs small inputs that *realize* the blow-up, so tests
+//! and benches can prove the governor bounds it.
+//!
+//! The family used throughout is the classic exponential prime-implicate
+//! set over `2n + 1` atoms: binary clauses `(x_i ∨ y_i)` for `i < n`
+//! plus one long clause `(¬x_0 ∨ … ∨ ¬x_{n-1} ∨ w)`. Resolving the long
+//! clause on `x_i` replaces `¬x_i` with `y_i`; iterating over subsets
+//! yields `2^n` mutually unsubsumed implicates of length `n + 1`, so
+//! both saturation and Tison's closure must materialize `2^n` clauses.
+
+use crate::atom::AtomId;
+use crate::clause::Clause;
+use crate::clause_set::ClauseSet;
+use crate::literal::Literal;
+use crate::rng::Rng;
+
+/// The `x_i`/`y_i`/`w` atom layout of [`exponential_pi_set`]: `x_i` is
+/// atom `2i`, `y_i` is atom `2i + 1`, and `w` is atom `2n`.
+pub fn atom_count(n_pairs: usize) -> usize {
+    2 * n_pairs + 1
+}
+
+/// Builds the exponential prime-implicate family over `n_pairs` pairs
+/// (`2^n_pairs` prime implicates; see module docs). Deterministic.
+pub fn exponential_pi_set(n_pairs: usize) -> ClauseSet {
+    seeded_exponential_pi_set(n_pairs, None)
+}
+
+/// The same family with the atom roles permuted by `seed`, so a corpus
+/// of instances exercises different literal orders (and hence different
+/// worklist schedules) while keeping the identical blow-up.
+pub fn seeded_exponential_pi_set(n_pairs: usize, seed: Option<u64>) -> ClauseSet {
+    let n_atoms = atom_count(n_pairs);
+    let mut perm: Vec<u32> = (0..n_atoms as u32).collect();
+    if let Some(seed) = seed {
+        let mut rng = Rng::new(seed);
+        // Fisher–Yates over the atom roles.
+        for i in (1..perm.len()).rev() {
+            perm.swap(i, rng.below(i as u64 + 1) as usize);
+        }
+    }
+    let x = |i: usize| AtomId(perm[2 * i]);
+    let y = |i: usize| AtomId(perm[2 * i + 1]);
+    let w = AtomId(perm[2 * n_pairs]);
+
+    let mut set = ClauseSet::new();
+    for i in 0..n_pairs {
+        set.insert(Clause::new(vec![Literal::pos(x(i)), Literal::pos(y(i))]));
+    }
+    let mut long: Vec<Literal> = (0..n_pairs).map(|i| Literal::neg(x(i))).collect();
+    long.push(Literal::pos(w));
+    set.insert(Clause::new(long));
+    set
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_instance_has_expected_shape() {
+        let set = exponential_pi_set(3);
+        assert_eq!(set.len(), 4);
+        assert_eq!(set.atom_bound(), atom_count(3));
+        assert!(crate::dpll::is_satisfiable(&set));
+    }
+
+    #[test]
+    fn closure_is_exponential_on_small_n() {
+        // 2^4 derived implicates + the n pair clauses survive in the
+        // prime-implicate closure.
+        let pi = crate::implicates::prime_implicates(&exponential_pi_set(4));
+        assert!(pi.len() >= (1 << 4));
+    }
+
+    #[test]
+    fn seeded_variants_differ_but_stay_satisfiable() {
+        let a = seeded_exponential_pi_set(4, Some(1));
+        let b = seeded_exponential_pi_set(4, Some(2));
+        assert_ne!(a, b);
+        assert_eq!(a.len(), b.len());
+        assert!(crate::dpll::is_satisfiable(&a));
+        // Same seed reproduces bit-identically.
+        assert_eq!(a, seeded_exponential_pi_set(4, Some(1)));
+    }
+}

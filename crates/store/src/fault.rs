@@ -1,16 +1,124 @@
 //! Deterministic fault injection for crash-recovery testing.
 //!
-//! Every helper mutates files in place the way a crash or media fault
-//! would: torn tails (truncation mid-record), stray bytes that were
-//! written but never acknowledged, and bit flips at controlled offsets.
-//! Offsets derive from a caller-supplied [`pwdb_logic::Rng`] (SplitMix64)
-//! so each scenario in the crash matrix is replayable from its seed.
+//! Two fault families live here:
+//!
+//! * **At-rest corruption** — helpers that mutate files in place the way
+//!   a crash or media fault would: torn tails (truncation mid-record),
+//!   stray bytes that were written but never acknowledged, and bit flips
+//!   at controlled offsets. Offsets derive from a caller-supplied
+//!   [`pwdb_logic::Rng`] (SplitMix64) so each scenario in the crash
+//!   matrix is replayable from its seed.
+//! * **Steady-state write faults** — [`WriteFaults`], a deterministic
+//!   plan of EIO / disk-full / short-write errors injected into *live*
+//!   durability operations (WAL fsyncs, checkpoint writes) via
+//!   [`crate::Store::inject_write_faults`]. The store reacts with
+//!   bounded retry-with-backoff, then degrades to read-only.
 
 use std::fs::OpenOptions;
 use std::io::Write;
 use std::path::Path;
 
 use pwdb_logic::Rng;
+
+/// Which I/O failure a live write fault simulates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteFaultKind {
+    /// A hard I/O error (`EIO`): nothing reached the medium.
+    Eio,
+    /// The device is full (`ENOSPC`): nothing reached the medium.
+    DiskFull,
+    /// A short write: a *prefix* of the buffered bytes reached the file
+    /// before the error, leaving a torn (CRC-invalid) tail on disk.
+    ShortWrite,
+}
+
+impl WriteFaultKind {
+    /// The `io::Error` this fault surfaces as.
+    pub fn to_error(self) -> std::io::Error {
+        match self {
+            WriteFaultKind::Eio => std::io::Error::other("injected fault: I/O error (EIO)"),
+            WriteFaultKind::DiskFull => std::io::Error::new(
+                std::io::ErrorKind::StorageFull,
+                "injected fault: device full (ENOSPC)",
+            ),
+            WriteFaultKind::ShortWrite => {
+                std::io::Error::new(std::io::ErrorKind::WriteZero, "injected fault: short write")
+            }
+        }
+    }
+}
+
+/// A deterministic plan of faults on live durability operations.
+///
+/// The store consults the plan once per physical durability attempt
+/// (each WAL fsync try — including retries — and each checkpoint file
+/// write). Operations are numbered from 0; the plan fails operations
+/// `fail_from .. fail_from + fail_count` and lets every other one
+/// through, so a single plan expresses both a transient glitch that a
+/// retry absorbs (`fail_count` ≤ retry budget) and a persistent outage
+/// that forces degraded mode (`fail_count` = `u64::MAX`).
+#[derive(Debug, Clone, Default)]
+pub struct WriteFaults {
+    kind: Option<WriteFaultKind>,
+    fail_from: u64,
+    fail_count: u64,
+    ops: u64,
+}
+
+impl WriteFaults {
+    /// A plan that never fires.
+    pub fn none() -> WriteFaults {
+        WriteFaults::default()
+    }
+
+    /// Fails exactly one operation (number `n`, counting from 0) —
+    /// a transient fault the retry loop should absorb.
+    pub fn fail_nth(n: u64, kind: WriteFaultKind) -> WriteFaults {
+        WriteFaults {
+            kind: Some(kind),
+            fail_from: n,
+            fail_count: 1,
+            ops: 0,
+        }
+    }
+
+    /// Fails every operation from number `n` on — a persistent outage
+    /// that exhausts the retries and degrades the store.
+    pub fn persistent_from(n: u64, kind: WriteFaultKind) -> WriteFaults {
+        WriteFaults {
+            kind: Some(kind),
+            fail_from: n,
+            fail_count: u64::MAX,
+            ops: 0,
+        }
+    }
+
+    /// Adjusts how many consecutive operations fail.
+    pub fn with_fail_count(mut self, count: u64) -> WriteFaults {
+        self.fail_count = count;
+        self
+    }
+
+    /// Advances the operation counter and reports the fault (if any) to
+    /// inject into this operation.
+    pub fn next_op(&mut self) -> Option<WriteFaultKind> {
+        let op = self.ops;
+        self.ops += 1;
+        let kind = self.kind?;
+        let fired = op >= self.fail_from && op - self.fail_from < self.fail_count;
+        if fired {
+            pwdb_metrics::counter!("store.fault.injected").inc();
+            Some(kind)
+        } else {
+            None
+        }
+    }
+
+    /// Operations seen so far (attempted, failed or not).
+    pub fn ops_seen(&self) -> u64 {
+        self.ops
+    }
+}
 
 /// Truncates `path` to `len` bytes — a crash that lost the tail.
 pub fn truncate_file(path: &Path, len: u64) -> std::io::Result<()> {

@@ -108,8 +108,8 @@ pub fn decode_record<'a>(buf: &'a [u8], offset: usize, valid_kinds: &[u8]) -> De
         return Decoded::Torn;
     }
     let kind = rest[0];
-    let len = u32::from_le_bytes(rest[1..5].try_into().unwrap());
-    let stored_crc = u32::from_le_bytes(rest[5..9].try_into().unwrap());
+    let len = u32::from_le_bytes(rest[1..5].try_into().expect("4-byte slice"));
+    let stored_crc = u32::from_le_bytes(rest[5..9].try_into().expect("4-byte slice"));
     if !valid_kinds.contains(&kind) || len > MAX_PAYLOAD {
         return Decoded::Corrupt;
     }

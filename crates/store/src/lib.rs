@@ -26,6 +26,11 @@
 //! (recovered state is bit-identical to an in-memory replay of the
 //! committed prefix, checked by `tests/store_recovery.rs`).
 
+// Storage code runs on user data and real I/O: failures must surface as
+// typed errors, never panics. `unwrap` is reserved for internal
+// invariants with an explanatory `expect`/allow.
+#![warn(clippy::unwrap_used)]
+
 pub mod fault;
 pub mod frame;
 pub mod snapshot;
@@ -33,12 +38,81 @@ pub mod testdir;
 pub mod wal;
 
 use std::path::{Path, PathBuf};
+use std::time::Duration;
 
 use pwdb_metrics::counter;
 
+pub use fault::{WriteFaultKind, WriteFaults};
 pub use snapshot::SnapshotData;
 pub use testdir::TestDir;
 pub use wal::{Record, WalScan};
+
+/// Failures of the durability layer, as callers see them.
+#[derive(Debug)]
+pub enum StoreError {
+    /// An I/O operation failed (after exhausting the retry budget, for
+    /// write-path operations).
+    Io(std::io::Error),
+    /// The store is in degraded read-only mode: persistent write faults
+    /// exhausted the retry budget, so updates are refused while reads
+    /// (which never touch the store) continue to be served.
+    ReadOnly {
+        /// What drove the store read-only, for operators.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "storage I/O error: {e}"),
+            StoreError::ReadOnly { reason } => {
+                write!(f, "store is read-only (degraded): {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+/// How hard the write path tries before declaring an outage: up to
+/// `attempts` retries after the first failure, sleeping `backoff`
+/// (doubling each retry) in between. Retries are the right reaction to
+/// transient faults (momentary EIO, a disk-full race with a cleaner);
+/// once the budget is exhausted the store enters degraded read-only mode
+/// rather than failing every future statement slowly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Retries after the initial attempt (0 = fail fast).
+    pub attempts: u32,
+    /// Sleep before the first retry; doubles per subsequent retry.
+    pub backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            attempts: 3,
+            backoff: Duration::from_millis(1),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries and never sleeps (tests).
+    pub fn none() -> RetryPolicy {
+        RetryPolicy {
+            attempts: 0,
+            backoff: Duration::ZERO,
+        }
+    }
+}
 
 /// What [`Store::open`] reconstructed from a directory.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -88,6 +162,9 @@ pub struct Store {
     dir: PathBuf,
     wal: wal::Wal,
     last_snapshot: Option<(u64, u64)>, // (records covered, bytes)
+    faults: WriteFaults,
+    retry: RetryPolicy,
+    degraded: Option<String>,
 }
 
 impl Store {
@@ -137,6 +214,9 @@ impl Store {
                 .data
                 .as_ref()
                 .map(|s| (s.wal_records, s.encode().len() as u64)),
+            faults: WriteFaults::none(),
+            retry: RetryPolicy::default(),
+            degraded: None,
         };
         let recovery = Recovery {
             snapshot: latest.data,
@@ -164,26 +244,137 @@ impl Store {
         self.wal.records()
     }
 
-    /// Buffers a record; not durable until [`Store::commit`].
-    pub fn append(&mut self, record: &Record) -> std::io::Result<()> {
-        self.wal.append(record)
+    /// Installs a plan of injected write faults (tests). The plan is
+    /// consulted once per physical durability attempt, retries included.
+    pub fn inject_write_faults(&mut self, faults: WriteFaults) {
+        self.faults = faults;
     }
 
-    /// Flushes and fsyncs the log — the commit point.
-    pub fn commit(&mut self) -> std::io::Result<()> {
-        self.wal.sync()
+    /// Configures the write-path retry budget.
+    pub fn set_retry_policy(&mut self, retry: RetryPolicy) {
+        self.retry = retry;
+    }
+
+    /// Whether persistent write faults have driven the store read-only.
+    pub fn is_degraded(&self) -> bool {
+        self.degraded.is_some()
+    }
+
+    /// Why the store is degraded, if it is.
+    pub fn degraded_reason(&self) -> Option<&str> {
+        self.degraded.as_deref()
+    }
+
+    /// The refusal every write-path entry returns while degraded.
+    fn read_only_error(&self) -> StoreError {
+        StoreError::ReadOnly {
+            reason: self
+                .degraded
+                .clone()
+                .unwrap_or_else(|| "unknown".to_owned()),
+        }
+    }
+
+    /// Buffers a record; not durable until [`Store::commit`]. Refused in
+    /// degraded mode.
+    pub fn append(&mut self, record: &Record) -> Result<(), StoreError> {
+        if self.degraded.is_some() {
+            return Err(self.read_only_error());
+        }
+        self.wal.append(record)?;
+        Ok(())
+    }
+
+    /// Writes and fsyncs buffered log records — the commit point.
+    ///
+    /// A failed attempt is retried per the [`RetryPolicy`] (with the WAL
+    /// self-healing any torn bytes a short write left). When the budget
+    /// is exhausted the store **degrades**: pending records are discarded
+    /// (the caller is rolling the statement back), the on-disk log is
+    /// restored to exactly the committed prefix, and every future write
+    /// returns [`StoreError::ReadOnly`] while reads continue unharmed.
+    pub fn commit(&mut self) -> Result<(), StoreError> {
+        if self.degraded.is_some() {
+            return Err(self.read_only_error());
+        }
+        let mut backoff = self.retry.backoff;
+        let mut attempt = 0u32;
+        loop {
+            let fault = self.faults.next_op();
+            match self.wal.sync_injected(fault) {
+                Ok(()) => return Ok(()),
+                Err(e) if attempt < self.retry.attempts => {
+                    attempt += 1;
+                    counter!("store.wal.retries").inc();
+                    let _ = e;
+                    if !backoff.is_zero() {
+                        std::thread::sleep(backoff);
+                        backoff = backoff.saturating_mul(2);
+                    }
+                }
+                Err(e) => {
+                    self.enter_degraded(&format!("WAL commit failed after {attempt} retries: {e}"));
+                    return Err(StoreError::Io(e));
+                }
+            }
+        }
     }
 
     /// Writes a snapshot of `data` atomically and durably. The log is
     /// *not* truncated: older snapshots plus the full log remain valid
-    /// fallback recovery sources.
-    pub fn checkpoint(&mut self, data: &SnapshotData) -> std::io::Result<(PathBuf, u64)> {
+    /// fallback recovery sources. Checkpoint writes run under the same
+    /// fault plan, retry budget, and degraded-mode discipline as commits;
+    /// a failed checkpoint never corrupts — the snapshot is written to a
+    /// temporary file and renamed into place only when complete.
+    pub fn checkpoint(&mut self, data: &SnapshotData) -> Result<(PathBuf, u64), StoreError> {
         let _sp = pwdb_trace::span!("store.checkpoint");
         // Anything buffered must be durable before a snapshot may cover it.
         self.commit()?;
-        let (path, bytes) = snapshot::write_snapshot(&self.dir, data)?;
-        self.last_snapshot = Some((data.wal_records, bytes));
-        Ok((path, bytes))
+        let mut backoff = self.retry.backoff;
+        let mut attempt = 0u32;
+        loop {
+            let result = match self.faults.next_op() {
+                Some(kind) => Err(kind.to_error()),
+                None => snapshot::write_snapshot(&self.dir, data),
+            };
+            match result {
+                Ok((path, bytes)) => {
+                    self.last_snapshot = Some((data.wal_records, bytes));
+                    return Ok((path, bytes));
+                }
+                Err(e) if attempt < self.retry.attempts => {
+                    attempt += 1;
+                    counter!("store.snapshot.retries").inc();
+                    let _ = e;
+                    if !backoff.is_zero() {
+                        std::thread::sleep(backoff);
+                        backoff = backoff.saturating_mul(2);
+                    }
+                }
+                Err(e) => {
+                    self.enter_degraded(&format!("checkpoint failed after {attempt} retries: {e}"));
+                    return Err(StoreError::Io(e));
+                }
+            }
+        }
+    }
+
+    /// Drops buffered, never-committed records and restores the on-disk
+    /// log to exactly the committed prefix — the caller is rolling a
+    /// statement back. Deliberately *not* gated on degraded mode: rollback
+    /// must work precisely when writes no longer do.
+    pub fn discard_pending(&mut self) -> Result<(), StoreError> {
+        self.wal.discard_pending()?;
+        Ok(())
+    }
+
+    /// Flips the store read-only, discarding pending records and
+    /// restoring the on-disk log to its committed prefix (best effort —
+    /// if even the truncate fails, recovery's torn-tail cut handles it).
+    fn enter_degraded(&mut self, reason: &str) {
+        counter!("store.degraded.entered").inc();
+        let _ = self.wal.discard_pending();
+        self.degraded = Some(reason.to_owned());
     }
 
     /// Current durability statistics.

@@ -11,17 +11,26 @@
 //!   statement, parseable by `pwdb_hlu::parse_hlu` against the table the
 //!   preceding `A` records rebuild.
 //!
-//! Appends are buffered; [`Wal::sync`] flushes and `fsync`s — that is the
+//! Appends are buffered; [`Wal::sync`] writes and `fsync`s — that is the
 //! commit point. [`scan`] reads a log back, stopping at the first torn or
 //! corrupt frame, and reports exactly how many bytes were valid so
 //! recovery can truncate the tail.
+//!
+//! The buffer is an explicit `pending: Vec<u8>` (not a `BufWriter`), so
+//! the log always knows the exact durable prefix (`synced_bytes`). A
+//! failed or short write leaves the file *dirty* past that prefix; the
+//! next sync attempt — or [`Wal::discard_pending`] when the caller gives
+//! up — first truncates the file back to `synced_bytes`, which is what
+//! keeps an I/O-faulted log readable: its on-disk content is always the
+//! committed prefix plus at most one torn tail that [`scan`] cuts.
 
 use std::fs::{File, OpenOptions};
-use std::io::{BufWriter, Seek, SeekFrom, Write};
+use std::io::{Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 
 use pwdb_metrics::counter;
 
+use crate::fault::WriteFaultKind;
 use crate::frame::{decode_record, encode_record, Decoded};
 
 /// Record kind byte: an atom-interning event.
@@ -118,11 +127,18 @@ pub fn scan(path: &Path) -> std::io::Result<WalScan> {
 /// An open write-ahead log positioned for appending.
 #[derive(Debug)]
 pub struct Wal {
-    writer: BufWriter<File>,
+    file: File,
     path: PathBuf,
+    /// Encoded records appended since the last successful sync.
+    pending: Vec<u8>,
+    pending_records: u64,
     records: u64,
-    bytes: u64,
+    /// Bytes known durable on disk — the committed prefix.
+    synced_bytes: u64,
     synced_records: u64,
+    /// A failed write may have left partial bytes past `synced_bytes`;
+    /// the next sync (or discard) truncates back before doing anything.
+    dirty_tail: bool,
 }
 
 impl Wal {
@@ -144,11 +160,14 @@ impl Wal {
         }
         file.seek(SeekFrom::Start(valid_bytes))?;
         Ok(Wal {
-            writer: BufWriter::new(file),
+            file,
             path: path.to_owned(),
+            pending: Vec::new(),
+            pending_records: 0,
             records,
-            bytes: valid_bytes,
+            synced_bytes: valid_bytes,
             synced_records: records,
+            dirty_tail: false,
         })
     }
 
@@ -169,29 +188,104 @@ impl Wal {
 
     /// Bytes in the log, counting buffered appends.
     pub fn bytes(&self) -> u64 {
-        self.bytes
+        self.synced_bytes + self.pending.len() as u64
+    }
+
+    /// Bytes known durable on disk.
+    pub fn synced_bytes(&self) -> u64 {
+        self.synced_bytes
+    }
+
+    /// Whether records are buffered but not yet durable.
+    pub fn has_pending(&self) -> bool {
+        !self.pending.is_empty()
     }
 
     /// Buffers one record. Not durable until [`Wal::sync`] returns.
     pub fn append(&mut self, record: &Record) -> std::io::Result<()> {
         let _sp = pwdb_trace::span!("store.wal.append");
         let encoded = record.encode();
-        self.writer.write_all(&encoded)?;
+        self.pending.extend_from_slice(&encoded);
+        self.pending_records += 1;
         self.records += 1;
-        self.bytes += encoded.len() as u64;
         counter!("store.wal.records").inc();
         counter!("store.wal.bytes").add(encoded.len() as u64);
         Ok(())
     }
 
-    /// Flushes buffered records and `fsync`s the file — the durability
+    /// Writes buffered records and `fsync`s the file — the durability
     /// point. Everything appended before this call survives a crash.
     pub fn sync(&mut self) -> std::io::Result<()> {
+        self.sync_injected(None)
+    }
+
+    /// [`Wal::sync`] with an optional injected fault (the store's
+    /// steady-state fault-tolerance tests drive this; `None` is the
+    /// production path).
+    ///
+    /// On *any* failure — injected or real — the buffered records stay
+    /// pending and the on-disk state is marked dirty, so the next attempt
+    /// first self-heals by truncating back to the committed prefix. A
+    /// short write deliberately leaves a torn prefix of the pending bytes
+    /// on disk to exercise exactly that path.
+    pub fn sync_injected(&mut self, fault: Option<WriteFaultKind>) -> std::io::Result<()> {
         let _sp = pwdb_trace::span!("store.wal.fsync");
-        self.writer.flush()?;
-        self.writer.get_ref().sync_data()?;
+        self.heal_dirty_tail()?;
+        match fault {
+            Some(WriteFaultKind::ShortWrite) => {
+                let half = self.pending.len() / 2;
+                if half > 0 {
+                    // Best effort, like a real torn write: some prefix
+                    // lands, the rest never does.
+                    if self.file.write_all(&self.pending[..half]).is_ok() {
+                        let _ = self.file.sync_data();
+                        self.dirty_tail = true;
+                    }
+                }
+                return Err(WriteFaultKind::ShortWrite.to_error());
+            }
+            Some(kind) => return Err(kind.to_error()),
+            None => {}
+        }
+        if let Err(e) = self
+            .file
+            .write_all(&self.pending)
+            .and_then(|()| self.file.sync_data())
+        {
+            // Unknown how much reached the disk: treat the tail as dirty.
+            self.dirty_tail = !self.pending.is_empty();
+            return Err(e);
+        }
+        self.synced_bytes += self.pending.len() as u64;
         self.synced_records = self.records;
+        self.pending.clear();
+        self.pending_records = 0;
         counter!("store.wal.fsyncs").inc();
+        Ok(())
+    }
+
+    /// Drops buffered (never-synced) records — the caller has rolled the
+    /// statement back and the log must forget it ever happened. Also
+    /// self-heals any dirty on-disk tail a failed write left, restoring
+    /// the file to exactly the committed prefix.
+    pub fn discard_pending(&mut self) -> std::io::Result<()> {
+        self.records -= self.pending_records;
+        self.pending.clear();
+        self.pending_records = 0;
+        self.heal_dirty_tail()
+    }
+
+    /// Truncates the file back to the committed prefix if a failed write
+    /// left unacknowledged bytes past it.
+    fn heal_dirty_tail(&mut self) -> std::io::Result<()> {
+        if !self.dirty_tail {
+            return Ok(());
+        }
+        counter!("store.wal.dirty_tails_healed").inc();
+        self.file.set_len(self.synced_bytes)?;
+        self.file.seek(SeekFrom::Start(self.synced_bytes))?;
+        self.file.sync_data()?;
+        self.dirty_tail = false;
         Ok(())
     }
 }

@@ -53,7 +53,12 @@ impl WorldSet {
 
     /// The empty set of worlds (`∅ ∈ IDB[D]`, the overconstrained state).
     pub fn empty(n_atoms: usize) -> Self {
-        assert!(n_atoms <= crate::schema::MAX_SCHEMA_ATOMS);
+        assert!(
+            n_atoms <= crate::schema::MAX_SCHEMA_ATOMS,
+            "a WorldSet materializes 2^n_atoms bits: n_atoms = {n_atoms} \
+             exceeds the {} supported (use the clausal backend instead)",
+            crate::schema::MAX_SCHEMA_ATOMS
+        );
         WorldSet {
             n_atoms,
             blocks: vec![0; Self::n_blocks(n_atoms)],

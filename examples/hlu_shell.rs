@@ -27,11 +27,19 @@
 //!                       fsync'd before it applies)
 //! :checkpoint           write a snapshot of the durable database
 //! :wal                   log / snapshot statistics of the open store
+//! :budget <steps> [live <clauses>] [wall <ms>]
+//!                       govern every following statement: on budget
+//!                       exhaustion it aborts with a typed error and the
+//!                       state rolls back to before the statement
+//! :budget off           run ungoverned again (:budget alone shows status)
+//! :governor             governor status: active budget, cumulative
+//!                       governor counters, store degradation
 //! :quit
 //! ```
 
 use std::io::{BufRead, IsTerminal, Write};
 
+use pwdb::logic::{Budget, Limits};
 use pwdb::prelude::*;
 use pwdb_metrics::MetricsSnapshot;
 
@@ -112,7 +120,7 @@ enum Backend {
         db: ClausalDatabase,
         atoms: AtomTable,
     },
-    Durable(DurableDatabase),
+    Durable(Box<DurableDatabase>),
 }
 
 impl Backend {
@@ -131,20 +139,46 @@ impl Backend {
         }
     }
 
-    /// Executes one statement line (`(...)` or `EXPLAIN (...)`), returning
-    /// the explanation if there was one.
-    fn run_statement(&mut self, line: &str) -> Result<Option<Explanation>, String> {
+    /// Executes one statement line (`(...)` or `EXPLAIN (...)`). With
+    /// `limits` set (`:budget`), the statement runs governed: on budget
+    /// exhaustion, cancellation, or rejection it rolls back and the error
+    /// is reported alongside any explanation.
+    fn run_statement(
+        &mut self,
+        line: &str,
+        limits: Option<&Limits>,
+    ) -> (Option<Explanation>, Result<(), String>) {
         match self {
             Backend::Memory { db, atoms } => {
-                match parse_hlu_statement(line, atoms).map_err(|e| e.to_string())? {
-                    HluStatement::Run(prog) => {
+                let stmt = match parse_hlu_statement(line, atoms) {
+                    Ok(stmt) => stmt,
+                    Err(e) => return (None, Err(e.to_string())),
+                };
+                match (stmt, limits) {
+                    (HluStatement::Run(prog), None) => {
                         db.run(&prog);
-                        Ok(None)
+                        (None, Ok(()))
                     }
-                    HluStatement::Explain(prog) => Ok(Some(db.explain(&prog))),
+                    (HluStatement::Run(prog), Some(l)) => {
+                        (None, db.run_governed(&prog, l).map_err(|e| e.to_string()))
+                    }
+                    (HluStatement::Explain(prog), None) => (Some(db.explain(&prog)), Ok(())),
+                    (HluStatement::Explain(prog), Some(l)) => {
+                        let (exp, result) = db.explain_governed(&prog, l);
+                        (Some(exp), result.map_err(|e| e.to_string()))
+                    }
                 }
             }
-            Backend::Durable(d) => d.run_statement(line).map_err(|e| e.to_string()),
+            Backend::Durable(d) => match limits {
+                None => match d.run_statement(line) {
+                    Ok(exp) => (exp, Ok(())),
+                    Err(e) => (None, Err(e.to_string())),
+                },
+                Some(l) => {
+                    let (exp, result) = d.run_statement_governed(line, l);
+                    (exp, result.map_err(|e| e.to_string()))
+                }
+            },
         }
     }
 
@@ -178,6 +212,8 @@ struct Shell {
     last_metrics: MetricsSnapshot,
     /// Whether to print a span tree after every command.
     trace_on: bool,
+    /// Active execution limits (`:budget`), with a rendered description.
+    limits: Option<(Limits, String)>,
 }
 
 impl Shell {
@@ -185,8 +221,41 @@ impl Shell {
         Shell {
             last_metrics: pwdb_metrics::snapshot(),
             trace_on: false,
+            limits: None,
         }
     }
+}
+
+/// Parses `:budget` arguments: `<steps> [live <clauses>] [wall <ms>]`.
+fn parse_budget(rest: &str) -> Result<(Limits, String), String> {
+    const USAGE: &str = "usage: :budget <steps> [live <clauses>] [wall <ms>] | off";
+    let mut toks = rest.split_whitespace();
+    let steps: u64 = toks
+        .next()
+        .ok_or(USAGE)?
+        .parse()
+        .map_err(|_| USAGE.to_owned())?;
+    let mut budget = Budget::steps(steps);
+    let mut desc = format!("{steps} step(s)");
+    while let Some(tok) = toks.next() {
+        let value: u64 = toks
+            .next()
+            .ok_or(USAGE)?
+            .parse()
+            .map_err(|_| USAGE.to_owned())?;
+        match tok {
+            "live" => {
+                budget = budget.with_live_clauses(value);
+                desc.push_str(&format!(", {value} live clause(s)"));
+            }
+            "wall" => {
+                budget = budget.with_wall(std::time::Duration::from_millis(value));
+                desc.push_str(&format!(", {value} ms wall clock"));
+            }
+            other => return Err(format!("unknown budget dimension '{other}'; {USAGE}")),
+        }
+    }
+    Ok((Limits::budget(budget), desc))
 }
 
 fn execute(line: &str, backend: &mut Backend, shell: &mut Shell) -> Result<Reply, String> {
@@ -227,7 +296,7 @@ fn execute(line: &str, backend: &mut Backend, shell: &mut Shell) -> Result<Reply
         }
         let db = ClausalDatabase::open(std::path::Path::new(dir)).map_err(|e| e.to_string())?;
         let r = db.recovery_report().clone();
-        *backend = Backend::Durable(db);
+        *backend = Backend::Durable(Box::new(db));
         return Ok(Reply::Text(format!(
             "opened {dir}: {} statement(s) recovered ({} replayed from the log, \
              {} from the snapshot), {} torn byte(s) truncated, {} snapshot(s) skipped",
@@ -315,6 +384,53 @@ fn execute(line: &str, backend: &mut Backend, shell: &mut Shell) -> Result<Reply
             other => return Err(format!("usage: :trace on|off (got '{other}')")),
         }
     }
+    if let Some(rest) = line.strip_prefix(":budget") {
+        let rest = rest.trim();
+        if rest == "off" {
+            shell.limits = None;
+            return Ok(Reply::Text(
+                "budget off — statements run ungoverned".to_owned(),
+            ));
+        }
+        if rest.is_empty() {
+            return Ok(Reply::Text(match &shell.limits {
+                Some((_, desc)) => format!("budget: {desc}"),
+                None => "budget: off (statements run ungoverned)".to_owned(),
+            }));
+        }
+        let (limits, desc) = parse_budget(rest)?;
+        let text = format!("budget set: {desc} — over-budget statements roll back");
+        shell.limits = Some((limits, desc));
+        return Ok(Reply::Text(text));
+    }
+    if line == ":governor" {
+        let mut out = String::new();
+        out.push_str(&match &shell.limits {
+            Some((_, desc)) => format!("budget:   {desc}"),
+            None => "budget:   off (statements run ungoverned)".to_owned(),
+        });
+        if let Backend::Durable(d) = backend {
+            out.push_str(&match d.degraded_reason() {
+                Some(reason) => format!("\nstore:    DEGRADED (read-only): {reason}"),
+                None => "\nstore:    healthy".to_owned(),
+            });
+        }
+        let snapshot = pwdb_metrics::snapshot();
+        let governor: Vec<_> = snapshot
+            .counters
+            .iter()
+            .filter(|(name, &v)| name.starts_with("governor.") && v > 0)
+            .collect();
+        if governor.is_empty() {
+            out.push_str("\n(no governed statements run yet)");
+        } else {
+            out.push_str("\ncumulative counters");
+            for (name, v) in governor {
+                out.push_str(&format!("\n  {name:<40} {v}"));
+            }
+        }
+        return Ok(Reply::Text(out));
+    }
     if let Some(q) = line.strip_prefix("?certain ") {
         let w = backend.parse_wff(q)?;
         return Ok(Reply::Text(format!("{}", backend.db().is_certain(&w))));
@@ -325,10 +441,9 @@ fn execute(line: &str, backend: &mut Backend, shell: &mut Shell) -> Result<Reply
     }
     if line == "?count" {
         let n = backend.atoms().len();
+        let count = backend.db().try_world_count(n).map_err(|e| e.to_string())?;
         return Ok(Reply::Text(format!(
-            "{} possible world(s) over {} atom(s)",
-            backend.db().world_count(n),
-            n
+            "{count} possible world(s) over {n} atom(s)"
         )));
     }
     if let Some(rest) = line.strip_prefix(":explain ") {
@@ -336,10 +451,18 @@ fn execute(line: &str, backend: &mut Backend, shell: &mut Shell) -> Result<Reply
     }
     let is_explain = line.len() >= 7 && line.as_bytes()[..7].eq_ignore_ascii_case(b"explain");
     if line.starts_with('(') || is_explain {
-        return Ok(match backend.run_statement(line)? {
-            Some(explanation) => Reply::Text(explanation.render()),
-            None => Reply::Text(format!("ok ({} update(s) run)", backend.db().updates_run())),
-        });
+        let limits = shell.limits.as_ref().map(|(l, _)| l);
+        return match backend.run_statement(line, limits) {
+            (Some(explanation), Ok(())) => Ok(Reply::Text(explanation.render())),
+            (Some(explanation), Err(e)) => {
+                Ok(Reply::Text(format!("{}\nerror: {e}", explanation.render())))
+            }
+            (None, Ok(())) => Ok(Reply::Text(format!(
+                "ok ({} update(s) run)",
+                backend.db().updates_run()
+            ))),
+            (None, Err(e)) => Err(e),
+        };
     }
     Err(format!("unrecognized command: {line}"))
 }

@@ -117,6 +117,32 @@ pub fn hlu_program(rng: &mut Rng, n_atoms: usize) -> HluProgram {
     }
 }
 
+/// The adversarial worst-case families of `pwdb_logic::stress`, re-
+/// exported where the governor tests expect their generators: the
+/// exponential prime-implicate family over `2n + 1` atoms whose closure
+/// materializes `2^n` clauses, with seeded atom-role permutations for
+/// corpus variety.
+pub use pwdb::logic::stress::{atom_count, exponential_pi_set, seeded_exponential_pi_set};
+
+/// An HLU statement corpus realizing the §2.3 worst cases through the
+/// *statement* path: each entry deletes one seeded instance of the
+/// exponential prime-implicate family. `(delete W)` compiles to
+/// `(assert (mask s0 (genmask s1)) (complement s1))` (Definition 3.1.2),
+/// and `complement` of this family is the Θ(ε^L) product of Theorem
+/// 2.3.4(b): `n_pairs` binary clauses and one long clause multiply out to
+/// `2^n_pairs · (n_pairs + 1)` literals of work. At `n_pairs = 24` one
+/// statement costs ≈ 8×10⁸ governor steps ungoverned — the adversarial
+/// input the execution governor exists to bound. Statements differ by
+/// seed (atom-role permutation), so caches cannot amortize the corpus.
+pub fn exponential_update_corpus(n_pairs: usize, count: usize) -> Vec<HluProgram> {
+    (0..count)
+        .map(|i| {
+            let set = seeded_exponential_pi_set(n_pairs, Some(0x5EED_0000 + i as u64));
+            HluProgram::Delete(pwdb::logic::clauses_to_wff(&set))
+        })
+        .collect()
+}
+
 /// A disjunction of 1–3 literals with distinct atoms: formulas whose
 /// syntactic Prop equals their semantic Dep (used by the §3.3 baseline
 /// comparisons).

@@ -1,0 +1,245 @@
+//! Steady-state I/O fault tolerance: injected write faults on the *live*
+//! store (WAL commits and snapshot writes, as opposed to the crash-matrix
+//! of `store_recovery.rs`) must never panic, never corrupt the log, and
+//! never let memory run ahead of disk.
+//!
+//! The contract, per fault kind (EIO, disk-full, short write):
+//!
+//! - A **transient** fault is absorbed by the bounded retry-with-backoff
+//!   policy; the statement commits as if nothing happened.
+//! - A **persistent** fault exhausts the retry budget and drives the
+//!   store into degraded read-only mode: the failing update is rejected
+//!   with a typed error and rolled back, queries keep being answered,
+//!   and every later update is rejected with `DurableError::ReadOnly`.
+//! - In every case the on-disk WAL stays a valid record sequence whose
+//!   statement records are exactly the committed prefix, and recovery
+//!   (reopen) reproduces that prefix bit-identically.
+//!
+//! Fault offsets are counted in *durability attempts* (one per WAL
+//! commit or snapshot write attempt — the units `WriteFaults::next_op`
+//! meters), and the matrix test injects a persistent fault at every
+//! offset of the script. Set `PWDB_STORE_DEGRADED_STMTS` to widen the
+//! script (and so the offset matrix) in CI.
+
+use std::time::Duration;
+
+use pwdb::hlu::{ClausalDatabase, DurableDatabase, DurableError, HluProgram};
+use pwdb::logic::Rng;
+use pwdb::store::{wal, RetryPolicy, TestDir, WriteFaultKind, WriteFaults};
+use pwdb_suite::testgen;
+
+const N_ATOMS: usize = 4;
+const KINDS: [WriteFaultKind; 3] = [
+    WriteFaultKind::Eio,
+    WriteFaultKind::DiskFull,
+    WriteFaultKind::ShortWrite,
+];
+
+fn script_len() -> usize {
+    std::env::var("PWDB_STORE_DEGRADED_STMTS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4)
+}
+
+/// A deterministic statement script (same seed every run).
+fn script(len: usize) -> Vec<HluProgram> {
+    let mut rng = Rng::new(0xDE64);
+    (0..len)
+        .map(|_| testgen::hlu_program(&mut rng, N_ATOMS))
+        .collect()
+}
+
+/// In-memory replay of `programs` — the oracle for recovered state.
+fn oracle(programs: &[HluProgram]) -> ClausalDatabase {
+    let mut db = ClausalDatabase::new();
+    for p in programs {
+        db.run(p);
+    }
+    db
+}
+
+fn assert_matches_prefix(db: &DurableDatabase, programs: &[HluProgram]) {
+    let reference = oracle(programs);
+    assert_eq!(db.state(), reference.state(), "clause sets differ");
+    assert_eq!(db.updates_run(), programs.len(), "update counts differ");
+    assert_eq!(db.history(), programs, "histories differ");
+}
+
+/// Asserts the on-disk log is a fully valid record sequence carrying
+/// exactly `committed` statement records.
+fn assert_wal_intact(dir: &TestDir, committed: usize) {
+    let scan = wal::scan(&dir.path().join("wal.log")).unwrap();
+    assert!(
+        !scan.has_invalid_tail(),
+        "injected faults must not leave torn bytes in the log \
+         ({} valid of {} total)",
+        scan.valid_bytes,
+        scan.total_bytes
+    );
+    let stmts = scan
+        .records
+        .iter()
+        .filter(|r| matches!(r, wal::Record::Stmt(_)))
+        .count();
+    assert_eq!(
+        stmts, committed,
+        "log must hold exactly the committed prefix"
+    );
+}
+
+/// Persistent fault at every durability-attempt offset × every kind: the
+/// failing statement is rejected and rolled back, the store degrades to
+/// read-only, reads keep working, the WAL stays whole, and recovery
+/// reproduces the committed prefix.
+#[test]
+fn persistent_fault_at_every_offset_degrades_cleanly() {
+    let programs = script(script_len());
+    for kind in KINDS {
+        // One durability attempt per statement: offset n fails stmt n.
+        for offset in 0..programs.len() {
+            let dir = TestDir::new("deg-matrix");
+            {
+                let mut db = ClausalDatabase::open(dir.path()).unwrap();
+                db.inject_write_faults(WriteFaults::persistent_from(offset as u64, kind));
+                db.set_retry_policy(RetryPolicy::none());
+
+                for (i, p) in programs.iter().enumerate() {
+                    let result = db.run(p);
+                    if i < offset {
+                        result.unwrap_or_else(|e| panic!("stmt {i} pre-fault: {e}"));
+                    } else if i == offset {
+                        let err = result.unwrap_err();
+                        assert!(
+                            matches!(err, DurableError::Io(_)),
+                            "{kind:?}@{offset}: expected typed I/O error, got {err:?}"
+                        );
+                        assert!(db.is_degraded(), "{kind:?}@{offset}");
+                        assert!(db.degraded_reason().is_some());
+                    } else {
+                        let err = result.unwrap_err();
+                        assert!(
+                            matches!(err, DurableError::ReadOnly { .. }),
+                            "{kind:?}@{offset}: post-degrade stmt {i} must be \
+                             rejected ReadOnly, got {err:?}"
+                        );
+                    }
+                }
+
+                // Memory never ran ahead of the log: reads are served and
+                // show exactly the committed prefix.
+                assert_matches_prefix(&db, &programs[..offset]);
+            }
+            assert_wal_intact(&dir, offset);
+
+            // Recovery agrees with the committed prefix.
+            let recovered = ClausalDatabase::open(dir.path()).unwrap();
+            assert_matches_prefix(&recovered, &programs[..offset]);
+        }
+    }
+}
+
+/// A transient fault burst shorter than the retry budget is invisible to
+/// the caller: the statement commits, the store stays healthy, recovery
+/// sees everything.
+#[test]
+fn transient_faults_are_absorbed_by_retry() {
+    let programs = script(script_len());
+    for kind in KINDS {
+        let dir = TestDir::new("deg-transient");
+        {
+            let mut db = ClausalDatabase::open(dir.path()).unwrap();
+            db.run(&programs[0]).unwrap();
+            // Two consecutive failures, three attempts: absorbed.
+            db.inject_write_faults(WriteFaults::fail_nth(0, kind).with_fail_count(2));
+            db.set_retry_policy(RetryPolicy {
+                attempts: 3,
+                backoff: Duration::from_micros(50),
+            });
+            for p in &programs[1..] {
+                db.run(p)
+                    .unwrap_or_else(|e| panic!("{kind:?}: retry must absorb: {e}"));
+            }
+            assert!(!db.is_degraded(), "{kind:?}");
+            assert_matches_prefix(&db, &programs);
+        }
+        assert_wal_intact(&dir, programs.len());
+        let recovered = ClausalDatabase::open(dir.path()).unwrap();
+        assert_matches_prefix(&recovered, &programs);
+    }
+}
+
+/// A retry budget *shorter* than the burst degrades instead — the policy
+/// is bounded, not infinite.
+#[test]
+fn retry_budget_shorter_than_burst_still_degrades() {
+    let programs = script(2);
+    let dir = TestDir::new("deg-burst");
+    let mut db = ClausalDatabase::open(dir.path()).unwrap();
+    db.run(&programs[0]).unwrap();
+    db.inject_write_faults(WriteFaults::fail_nth(0, WriteFaultKind::Eio).with_fail_count(5));
+    db.set_retry_policy(RetryPolicy {
+        attempts: 2,
+        backoff: Duration::ZERO,
+    });
+    let err = db.run(&programs[1]).unwrap_err();
+    assert!(matches!(err, DurableError::Io(_)), "{err:?}");
+    assert!(db.is_degraded());
+    assert_matches_prefix(&db, &programs[..1]);
+}
+
+/// Snapshot-write faults degrade the store but cannot corrupt anything:
+/// the WAL was committed before the snapshot attempt, so recovery simply
+/// replays the whole log.
+#[test]
+fn checkpoint_fault_degrades_without_corrupting_the_log() {
+    for kind in KINDS {
+        let dir = TestDir::new("deg-ckpt");
+        let programs = script(3);
+        {
+            let mut db = ClausalDatabase::open(dir.path()).unwrap();
+            for p in &programs {
+                db.run(p).unwrap();
+            }
+            // Attempt 0 is the checkpoint's WAL commit (clean); attempt 1
+            // is the snapshot write — fault it persistently.
+            db.inject_write_faults(WriteFaults::persistent_from(1, kind));
+            db.set_retry_policy(RetryPolicy::none());
+            let err = db.checkpoint().unwrap_err();
+            assert!(matches!(err, DurableError::Io(_)), "{kind:?}: {err:?}");
+            assert!(db.is_degraded());
+            // Reads still served post-degradation.
+            assert_matches_prefix(&db, &programs);
+        }
+        assert_wal_intact(&dir, programs.len());
+        let recovered = ClausalDatabase::open(dir.path()).unwrap();
+        assert_matches_prefix(&recovered, &programs);
+        assert_eq!(
+            recovered.recovery_report().from_snapshot,
+            0,
+            "{kind:?}: no snapshot must have been (partially) installed"
+        );
+    }
+}
+
+/// Degraded mode is an *error-reporting* state, not a corrupt one: a
+/// fresh open of the same directory (the fault plan is not persistent)
+/// starts healthy and can commit again.
+#[test]
+fn reopen_after_degradation_is_healthy_and_writable() {
+    let programs = script(3);
+    let dir = TestDir::new("deg-reopen");
+    {
+        let mut db = ClausalDatabase::open(dir.path()).unwrap();
+        db.run(&programs[0]).unwrap();
+        db.inject_write_faults(WriteFaults::persistent_from(0, WriteFaultKind::DiskFull));
+        db.set_retry_policy(RetryPolicy::none());
+        assert!(db.run(&programs[1]).is_err());
+        assert!(db.is_degraded());
+    }
+    let mut db = ClausalDatabase::open(dir.path()).unwrap();
+    assert!(!db.is_degraded());
+    db.run(&programs[1]).unwrap();
+    db.run(&programs[2]).unwrap();
+    assert_matches_prefix(&db, &programs);
+}
